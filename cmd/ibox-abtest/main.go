@@ -1,0 +1,116 @@
+// Command ibox-abtest runs the paper's §2 ensemble test on a user-supplied
+// corpus: every control-protocol trace in the corpus trains one iBoxNet
+// model, the treatment protocol runs on each learnt model, and the
+// predicted metric distributions are printed — an A/B flight conducted
+// entirely inside the simulator.
+//
+// Unlike cmd/ibox-experiments (which fabricates its corpus and so can also
+// print ground truth), this tool consumes any traces you have — from
+// iboxgen, or from real captures via ibox-pcap2trace.
+//
+// Usage:
+//
+//	ibox-abtest -traces 'corpus/*.json' -treatment vegas -dur 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"ibox/internal/cc"
+	"ibox/internal/core"
+	"ibox/internal/iboxnet"
+	"ibox/internal/sim"
+	"ibox/internal/stats"
+	"ibox/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ibox-abtest: ")
+	var (
+		glob      = flag.String("traces", "", "glob of control-protocol trace JSON files")
+		treatment = flag.String("treatment", "vegas", "treatment protocol: "+strings.Join(cc.Protocols(), ", "))
+		dur       = flag.Duration("dur", 30*time.Second, "per-flow duration on the learnt models")
+		seed      = flag.Int64("seed", 1, "run seed")
+	)
+	flag.Parse()
+	if *glob == "" {
+		log.Fatal("-traces is required")
+	}
+	paths, err := filepath.Glob(*glob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(paths) == 0 {
+		log.Fatalf("no traces match %q", *glob)
+	}
+	sort.Strings(paths)
+
+	var control, treat []core.Metrics
+	skipped := 0
+	for _, path := range paths {
+		tr, err := trace.LoadJSON(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		model, err := core.Fit(tr, iboxnet.Full)
+		if err != nil {
+			log.Printf("%s: fit failed (%v), skipping", path, err)
+			skipped++
+			continue
+		}
+		ctrlProto := tr.Protocol
+		if _, err := cc.NewSender(ctrlProto, 1500); err != nil {
+			ctrlProto = "cubic" // trace protocol unknown to the registry
+		}
+		simA, err := model.Run(ctrlProto, sim.Time(dur.Nanoseconds()), *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simB, err := model.Run(*treatment, sim.Time(dur.Nanoseconds()), *seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		control = append(control, core.MetricsOf(simA))
+		treat = append(treat, core.MetricsOf(simB))
+	}
+	if len(control) == 0 {
+		log.Fatal("no models fitted")
+	}
+
+	summarize := func(name string, ms []core.Metrics) {
+		var tput, p95, loss []float64
+		for _, m := range ms {
+			tput = append(tput, m.ThroughputMbps)
+			p95 = append(p95, m.P95DelayMs)
+			loss = append(loss, m.LossPct)
+		}
+		st, sp, sl := stats.Summarize(tput), stats.Summarize(p95), stats.Summarize(loss)
+		fmt.Printf("%-10s tput Mbps %5.2f (p25 %.2f / p50 %.2f / p75 %.2f)\n", name, st.Mean, st.P25, st.P50, st.P75)
+		fmt.Printf("%-10s p95 ms    %5.0f (p25 %.0f / p50 %.0f / p75 %.0f)\n", "", sp.Mean, sp.P25, sp.P50, sp.P75)
+		fmt.Printf("%-10s loss %%    %5.2f (p25 %.2f / p50 %.2f / p75 %.2f)\n", "", sl.Mean, sl.P25, sl.P50, sl.P75)
+	}
+	fmt.Printf("A/B flight over %d learnt models (%d skipped)\n", len(control), skipped)
+	summarize("control", control)
+	summarize(*treatment, treat)
+
+	dTput := mean(treat, func(m core.Metrics) float64 { return m.ThroughputMbps }) -
+		mean(control, func(m core.Metrics) float64 { return m.ThroughputMbps })
+	dP95 := mean(treat, func(m core.Metrics) float64 { return m.P95DelayMs }) -
+		mean(control, func(m core.Metrics) float64 { return m.P95DelayMs })
+	fmt.Printf("verdict: %s vs control: throughput %+.2f Mbps, p95 delay %+.0f ms\n", *treatment, dTput, dP95)
+}
+
+func mean(ms []core.Metrics, f func(core.Metrics) float64) float64 {
+	s := 0.0
+	for _, m := range ms {
+		s += f(m)
+	}
+	return s / float64(len(ms))
+}

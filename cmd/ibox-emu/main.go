@@ -1,0 +1,107 @@
+// Command ibox-emu runs a learnt iBoxNet model as a live UDP network
+// emulator — Fig 1's "Internet in a Box" made literal: UDP datagrams sent
+// to the listen address experience the learnt path's bandwidth, queueing,
+// propagation delay, cross traffic and loss, then arrive at the forward
+// address. Point a real application at it.
+//
+// Usage:
+//
+//	ibox-emu -profile profile.json -listen 127.0.0.1:5000 -forward 127.0.0.1:6000
+//	ibox-emu -trace cubic-000.json -listen :5000 -forward 10.0.0.2:6000 -variant statloss
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"ibox/internal/emu"
+	"ibox/internal/iboxnet"
+	"ibox/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ibox-emu: ")
+	var (
+		profilePath = flag.String("profile", "", "iBoxNet profile (JSON, from iboxfit)")
+		tracePath   = flag.String("trace", "", "alternatively: fit the model from this trace")
+		listen      = flag.String("listen", "127.0.0.1:5000", "UDP address to accept traffic on")
+		forward     = flag.String("forward", "", "UDP address to deliver traffic to")
+		variantName = flag.String("variant", "full", "model variant: full, noct, statloss")
+		statsEvery  = flag.Duration("stats", 5*time.Second, "stats print interval (0 = off)")
+		seed        = flag.Int64("seed", 1, "randomness seed")
+	)
+	flag.Parse()
+	if *forward == "" {
+		log.Fatal("-forward is required")
+	}
+
+	var params iboxnet.Params
+	switch {
+	case *profilePath != "":
+		var err error
+		if params, err = iboxnet.LoadParams(*profilePath); err != nil {
+			log.Fatal(err)
+		}
+	case *tracePath != "":
+		tr, err := trace.LoadJSON(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if params, err = iboxnet.Estimate(tr, iboxnet.EstimatorConfig{}); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("one of -profile or -trace is required")
+	}
+
+	var variant iboxnet.Variant
+	switch *variantName {
+	case "full":
+		variant = iboxnet.Full
+	case "noct":
+		variant = iboxnet.NoCT
+	case "statloss":
+		variant = iboxnet.StatLoss
+	default:
+		log.Fatalf("unknown variant %q", *variantName)
+	}
+
+	e, err := emu.New(emu.Config{
+		Listen: *listen, Forward: *forward,
+		Params: params, Variant: variant, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emulating %v (%s)\n", params, variant)
+	fmt.Printf("listening on %s, delivering to %s — ctrl-c to stop\n", e.Addr(), *forward)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					s := e.Stats()
+					fmt.Printf("rx=%d tx=%d dropped=%d\n", s.Received, s.Delivered, s.Dropped)
+				}
+			}
+		}()
+	}
+	if err := e.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	s := e.Stats()
+	fmt.Printf("final: rx=%d tx=%d dropped=%d\n", s.Received, s.Delivered, s.Dropped)
+}

@@ -1,0 +1,101 @@
+// Command ibox-experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured).
+//
+// Usage:
+//
+//	ibox-experiments -run all -scale quick
+//	ibox-experiments -run fig2,fig5 -scale paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"ibox/internal/experiments"
+)
+
+// plotter is implemented by results that can emit CSV plot series.
+type plotter interface {
+	WritePlots(dir string) error
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ibox-experiments: ")
+	var (
+		runList   = flag.String("run", "all", "comma-separated experiments: fig2, fig3, fig4, fig5, fig7, fig8, table1, speed, adaptive, baselines, realism, all")
+		scaleName = flag.String("scale", "quick", "experiment scale: quick (seconds) or paper (minutes, paper-sized corpora)")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		plotDir   = flag.String("plot", "", "also write each figure's plottable series as CSV into this directory")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "paper":
+		scale = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	scale.Seed = *seed
+
+	type experiment struct {
+		name string
+		run  func(experiments.Scale) (fmt.Stringer, error)
+	}
+	all := []experiment{
+		{"fig2", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.Fig2(s) }},
+		{"fig3", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.Fig3(s) }},
+		{"fig4", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.Fig4(s) }},
+		{"fig5", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.Fig5(s) }},
+		{"fig7", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.Fig7(s) }},
+		{"fig8", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.Fig8(s) }},
+		{"table1", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.Table1(s) }},
+		{"speed", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.Speed(s) }},
+		{"adaptive", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.AdaptiveCT(s) }},
+		{"baselines", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.Baselines(s) }},
+		{"realism", func(s experiments.Scale) (fmt.Stringer, error) { return experiments.Realism(s) }},
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	ranAny := false
+	failed := false
+	for _, e := range all {
+		if !want["all"] && !want[e.name] {
+			continue
+		}
+		ranAny = true
+		start := time.Now()
+		res, err := e.run(scale)
+		if err != nil {
+			log.Printf("%s: %v", e.name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", e.name, time.Since(start).Seconds(), res)
+		if *plotDir != "" {
+			if p, ok := res.(plotter); ok {
+				if err := p.WritePlots(*plotDir); err != nil {
+					log.Printf("%s: writing plots: %v", e.name, err)
+					failed = true
+				}
+			}
+		}
+	}
+	if !ranAny {
+		log.Fatalf("no experiments matched -run %q", *runList)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+// Command ibox-pcap2trace converts a pair of libpcap captures — one taken
+// at the sender, one at the receiver — into the input–output trace JSON
+// that iboxfit and iboxml consume. This is the ingestion path for learning
+// iBox models from real networks (the role the Pantheon corpus plays in
+// the paper).
+//
+// Usage:
+//
+//	ibox-pcap2trace -send sender.pcap -recv receiver.pcap -out trace.json
+//	ibox-pcap2trace -send sender.pcap -list          # enumerate flows
+//	ibox-pcap2trace ... -flow 'udp 10.0.0.1:4000>10.0.0.2:5000'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"ibox/internal/pcap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ibox-pcap2trace: ")
+	var (
+		sendPath = flag.String("send", "", "sender-side capture (.pcap)")
+		recvPath = flag.String("recv", "", "receiver-side capture (.pcap)")
+		out      = flag.String("out", "trace.json", "output trace path")
+		flowSpec = flag.String("flow", "", "flow to pair, as printed by -list (default: largest flow)")
+		list     = flag.Bool("list", false, "list flows in the sender capture and exit")
+	)
+	flag.Parse()
+	if *sendPath == "" {
+		log.Fatal("-send is required")
+	}
+	sendPkts, link, err := pcap.Open(*sendPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if link != 1 {
+		log.Fatalf("unsupported link type %d (want Ethernet)", link)
+	}
+	flows := pcap.Flows(sendPkts)
+	if *list {
+		type fc struct {
+			f pcap.Flow5
+			n int
+		}
+		var sorted []fc
+		for f, n := range flows {
+			sorted = append(sorted, fc{f, n})
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].n > sorted[j].n })
+		for _, e := range sorted {
+			fmt.Printf("%8d  %s\n", e.n, e.f)
+		}
+		return
+	}
+	if *recvPath == "" {
+		log.Fatal("-recv is required")
+	}
+	recvPkts, _, err := pcap.Open(*recvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var flow pcap.Flow5
+	if *flowSpec != "" {
+		found := false
+		for f := range flows {
+			if f.String() == *flowSpec {
+				flow, found = f, true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("flow %q not in sender capture (use -list)", *flowSpec)
+		}
+	} else {
+		best := 0
+		for f, n := range flows {
+			if n > best {
+				flow, best = f, n
+			}
+		}
+		if best == 0 {
+			log.Fatal("no decodable flows in sender capture")
+		}
+	}
+
+	tr, err := pcap.PairCaptures(sendPkts, recvPkts, flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.SaveJSON(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow %s: %d packets, loss=%.2f%%, p95 delay=%.1f ms → %s\n",
+		flow, len(tr.Packets), tr.LossRate()*100, tr.DelayPercentile(95), *out)
+}

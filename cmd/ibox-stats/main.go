@@ -1,0 +1,72 @@
+// Command ibox-stats summarizes a trace file: throughput, delay
+// percentiles, jitter, loss structure, reordering, burstiness and delay
+// autocorrelation — the quick look a practitioner takes before feeding a
+// trace to iboxfit/iboxml.
+//
+// Usage:
+//
+//	ibox-stats -trace corpus/cubic-000.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ibox-stats: ")
+	tracePath := flag.String("trace", "", "trace file (JSON)")
+	flag.Parse()
+	if *tracePath == "" {
+		log.Fatal("-trace is required")
+	}
+	tr, err := trace.LoadJSON(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trace:      %s (protocol=%s path=%s)\n", *tracePath, tr.Protocol, tr.PathID)
+	fmt.Printf("packets:    %d sent over %v (%.0f pkt/s)\n",
+		len(tr.Packets), tr.Duration(), float64(len(tr.Packets))/tr.Duration().Seconds())
+	fmt.Printf("throughput: %.3f Mbps delivered\n", tr.Throughput()/1e6)
+	fmt.Printf("loss:       %.2f%%", tr.LossRate()*100)
+	if runs := tr.LossRuns(); len(runs) > 0 {
+		var lens []int
+		for l := range runs {
+			lens = append(lens, l)
+		}
+		sort.Ints(lens)
+		fmt.Printf("  (burst lengths:")
+		for _, l := range lens {
+			fmt.Printf(" %d×%d", runs[l], l)
+		}
+		fmt.Printf(")")
+	}
+	fmt.Println()
+	fmt.Printf("delay ms:   min=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+		tr.DelayPercentile(0), tr.DelayPercentile(50), tr.DelayPercentile(95),
+		tr.DelayPercentile(99), tr.DelayPercentile(100))
+	fmt.Printf("jitter:     %.2f ms (RFC 3550 smoothed)\n", tr.Jitter())
+	fmt.Printf("reordering: %.4f overall", tr.ReorderingRate())
+	if rates := tr.ReorderingRateWindows(sim.Second); len(rates) > 0 {
+		mx := 0.0
+		for _, r := range rates {
+			if r > mx {
+				mx = r
+			}
+		}
+		fmt.Printf(" (worst 1s window: %.4f)", mx)
+	}
+	fmt.Println()
+	fmt.Printf("burstiness: CV(interarrival)=%.2f\n", tr.Burstiness())
+	fmt.Printf("delay autocorrelation (100ms windows): lag1=%.2f lag5=%.2f lag20=%.2f\n",
+		tr.DelayAutocorrelation(100*sim.Millisecond, 1),
+		tr.DelayAutocorrelation(100*sim.Millisecond, 5),
+		tr.DelayAutocorrelation(100*sim.Millisecond, 20))
+}

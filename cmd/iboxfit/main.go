@@ -1,0 +1,63 @@
+// Command iboxfit learns an iBoxNet model (§3 of the paper) from an
+// input–output packet trace: the bottleneck bandwidth, propagation delay,
+// buffer size and the conservative cross-traffic time series. The learnt
+// parameters — an "iBoxNet profile" — are written as JSON for use with
+// iboxsim.
+//
+// Usage:
+//
+//	iboxfit -trace corpus/cubic-000.json -out profile.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ibox/internal/iboxnet"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iboxfit: ")
+	var (
+		tracePath = flag.String("trace", "", "input trace (JSON, from iboxgen)")
+		out       = flag.String("out", "", "output profile path (JSON); omit to just print")
+		bwWindow  = flag.Duration("bw-window", 0, "bandwidth estimation sliding window (default 1s)")
+		ctWindow  = flag.Duration("ct-window", 0, "cross-traffic discretization window (default 100ms)")
+		knownBW   = flag.Float64("known-bandwidth", 0, "known bottleneck rate in bytes/sec (overrides estimation)")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		log.Fatal("-trace is required")
+	}
+	tr, err := trace.LoadJSON(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := iboxnet.EstimatorConfig{
+		BandwidthWindow: sim.Time(bwWindow.Nanoseconds()),
+		CTWindow:        sim.Time(ctWindow.Nanoseconds()),
+		KnownBandwidth:  *knownBW,
+	}
+	p, err := iboxnet.Estimate(tr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p)
+	fmt.Printf("trace: pkts=%d tput=%.2f Mbps p95=%.1f ms loss=%.2f%%\n",
+		len(tr.Packets), tr.Throughput()/1e6, tr.DelayPercentile(95), tr.LossRate()*100)
+	d := iboxnet.Diagnose(tr, p, cfg)
+	fmt.Printf("assumptions: %s\n", d)
+	if !d.Trustworthy() {
+		fmt.Println("warning: estimator assumptions poorly supported — consider -known-bandwidth or merging concurrent flows")
+	}
+	if *out != "" {
+		if err := p.Save(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("profile written to %s\n", *out)
+	}
+}

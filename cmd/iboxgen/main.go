@@ -1,0 +1,70 @@
+// Command iboxgen generates a synthetic Pantheon-style trace corpus: it
+// samples network-path instances from a profile, runs a congestion-control
+// protocol over the ground-truth simulator on each, and writes the
+// input–output traces as JSON files.
+//
+// Usage:
+//
+//	iboxgen -profile india-cellular -n 20 -protocol cubic -dur 30s -out corpus/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ibox/internal/cc"
+	"ibox/internal/pantheon"
+	"ibox/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iboxgen: ")
+	var (
+		profileName = flag.String("profile", "india-cellular", "path profile: india-cellular, ethernet, cellular-reorder, satellite, wired-loss")
+		n           = flag.Int("n", 10, "number of path instances")
+		protocol    = flag.String("protocol", "cubic", "sender protocol: "+strings.Join(cc.Protocols(), ", "))
+		dur         = flag.Duration("dur", 30*time.Second, "per-flow duration")
+		seed        = flag.Int64("seed", 1, "corpus seed")
+		out         = flag.String("out", "corpus", "output directory")
+	)
+	flag.Parse()
+
+	var profile pantheon.Profile
+	switch *profileName {
+	case "india-cellular":
+		profile = pantheon.IndiaCellular()
+	case "ethernet":
+		profile = pantheon.Ethernet()
+	case "cellular-reorder":
+		profile = pantheon.CellularReorder()
+	case "satellite":
+		profile = pantheon.Satellite()
+	case "wired-loss":
+		profile = pantheon.WiredLoss()
+	default:
+		log.Fatalf("unknown profile %q", *profileName)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := pantheon.Generate(profile, *n, *protocol, sim.Time(dur.Nanoseconds()), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, tr := range corpus.Traces {
+		path := filepath.Join(*out, fmt.Sprintf("%s-%03d.json", *protocol, i))
+		if err := tr.SaveJSON(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  pkts=%d tput=%.2f Mbps p95=%.1f ms loss=%.2f%%\n",
+			path, len(tr.Packets), tr.Throughput()/1e6, tr.DelayPercentile(95), tr.LossRate()*100)
+	}
+	fmt.Printf("wrote %d traces to %s\n", len(corpus.Traces), *out)
+}

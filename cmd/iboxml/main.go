@@ -1,0 +1,127 @@
+// Command iboxml trains and applies the ML-based network model of §4: a
+// deep state-space (multi-layer LSTM) delay model learnt end-to-end from
+// input–output traces.
+//
+// Usage:
+//
+//	iboxml train -traces 'corpus/*.json' -out model.json [-ct] [-hidden 24 -layers 2 -epochs 30]
+//	iboxml predict -model model.json -trace test.json [-out predicted.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ibox/internal/iboxml"
+	"ibox/internal/iboxnet"
+	"ibox/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iboxml: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: iboxml <train|predict> [flags]")
+	}
+	switch os.Args[1] {
+	case "train":
+		train(os.Args[2:])
+	case "predict":
+		predict(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q (want train or predict)", os.Args[1])
+	}
+}
+
+func train(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	var (
+		glob   = fs.String("traces", "", "glob of training trace JSON files")
+		out    = fs.String("out", "model.json", "output model path")
+		useCT  = fs.Bool("ct", false, "feed the §3 cross-traffic estimate as an input feature (§5.2)")
+		hidden = fs.Int("hidden", 24, "LSTM hidden size")
+		layers = fs.Int("layers", 2, "LSTM layers")
+		epochs = fs.Int("epochs", 30, "training epochs")
+		seed   = fs.Int64("seed", 1, "training seed")
+	)
+	fs.Parse(args)
+	if *glob == "" {
+		log.Fatal("-traces is required")
+	}
+	paths, err := filepath.Glob(*glob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(paths) == 0 {
+		log.Fatalf("no traces match %q", *glob)
+	}
+	var samples []iboxml.TrainingSample
+	for _, p := range paths {
+		tr, err := trace.LoadJSON(p)
+		if err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+		s := iboxml.TrainingSample{Trace: tr}
+		if *useCT {
+			if params, err := iboxnet.Estimate(tr, iboxnet.EstimatorConfig{}); err == nil {
+				s.CT = params.CrossTraffic
+			}
+		}
+		samples = append(samples, s)
+	}
+	fmt.Printf("training on %d traces (hidden=%d layers=%d epochs=%d ct=%v)...\n",
+		len(samples), *hidden, *layers, *epochs, *useCT)
+	model, err := iboxml.Train(samples, iboxml.Config{
+		Hidden: *hidden, Layers: *layers, Epochs: *epochs,
+		UseCrossTraffic: *useCT, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model with %d parameters written to %s\n", model.NumParams(), *out)
+}
+
+func predict(args []string) {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "model.json", "trained model path")
+		tracePath = fs.String("trace", "", "test trace whose sending timeline is replayed")
+		out       = fs.String("out", "", "write the predicted trace here (JSON)")
+		seed      = fs.Int64("seed", 1, "sampling seed")
+	)
+	fs.Parse(args)
+	if *tracePath == "" {
+		log.Fatal("-trace is required")
+	}
+	model, err := iboxml.Load(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.LoadJSON(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ct *trace.Series
+	if model.Cfg.UseCrossTraffic {
+		if params, err := iboxnet.Estimate(tr, iboxnet.EstimatorConfig{}); err == nil {
+			ct = params.CrossTraffic
+		}
+	}
+	pred := model.SimulateTrace(tr, ct, *seed)
+	fmt.Printf("ground truth: p95=%.1f ms mean tput=%.2f Mbps\n",
+		tr.DelayPercentile(95), tr.Throughput()/1e6)
+	fmt.Printf("predicted:    p95=%.1f ms reorder=%.4f\n",
+		pred.DelayPercentile(95), pred.ReorderingRate())
+	if *out != "" {
+		if err := pred.SaveJSON(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("predicted trace written to %s\n", *out)
+	}
+}

@@ -1,0 +1,87 @@
+// Command iboxsim runs a congestion-control protocol closed-loop on a
+// learnt iBoxNet model — the counterfactual machinery of §2: "what would
+// protocol B have seen on this path at this time?". The model comes from
+// an iboxfit profile (or is fitted on the fly from a trace).
+//
+// Usage:
+//
+//	iboxsim -profile profile.json -protocol vegas -dur 30s -out vegas.json
+//	iboxsim -trace corpus/cubic-000.json -protocol vegas -dur 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"ibox/internal/cc"
+	"ibox/internal/core"
+	"ibox/internal/iboxnet"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iboxsim: ")
+	var (
+		profilePath = flag.String("profile", "", "iBoxNet profile (JSON, from iboxfit)")
+		tracePath   = flag.String("trace", "", "alternatively: fit the model from this trace")
+		protocol    = flag.String("protocol", "vegas", "protocol to simulate: "+strings.Join(cc.Protocols(), ", "))
+		variantName = flag.String("variant", "full", "model variant: full, noct, statloss")
+		dur         = flag.Duration("dur", 30*time.Second, "flow duration")
+		seed        = flag.Int64("seed", 1, "run seed")
+		out         = flag.String("out", "", "write the simulated trace here (JSON)")
+	)
+	flag.Parse()
+
+	var variant iboxnet.Variant
+	switch *variantName {
+	case "full":
+		variant = iboxnet.Full
+	case "noct":
+		variant = iboxnet.NoCT
+	case "statloss":
+		variant = iboxnet.StatLoss
+	default:
+		log.Fatalf("unknown variant %q", *variantName)
+	}
+
+	var model *core.Model
+	switch {
+	case *profilePath != "":
+		p, err := iboxnet.LoadParams(*profilePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = &core.Model{Params: p, Variant: variant, TrainTrace: *profilePath}
+	case *tracePath != "":
+		tr, err := trace.LoadJSON(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err = core.Fit(tr, variant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("fitted:", model.Params)
+	default:
+		log.Fatal("one of -profile or -trace is required")
+	}
+
+	simTr, err := model.Run(*protocol, sim.Time(dur.Nanoseconds()), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := core.MetricsOf(simTr)
+	fmt.Printf("%s on %s: tput=%.2f Mbps p95=%.1f ms loss=%.2f%% pkts=%d\n",
+		*protocol, variant, m.ThroughputMbps, m.P95DelayMs, m.LossPct, len(simTr.Packets))
+	if *out != "" {
+		if err := simTr.SaveJSON(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+}

@@ -1,0 +1,76 @@
+// A/B testing inside the simulator — the ensemble test of §2 / §3.1.1.
+//
+// A fleet of Cubic "measurements" is collected over many cellular path
+// instances. One iBoxNet model is learnt per trace; then both the control
+// (Cubic) and a treatment protocol the models never saw (Vegas) run on
+// every learnt model, recreating a flighting-based A/B test without
+// touching the network. The distributions are verified against ground
+// truth with two-sample KS tests — the methodology behind Fig 2.
+//
+// Run with: go run ./examples/abtest
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ibox"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const n = 10
+	dur := 12 * ibox.Second
+	fmt.Printf("collecting %d cubic traces on synthetic India-Cellular paths...\n", n)
+	corpus, err := ibox.GenerateCorpus(ibox.IndiaCellular(), n, "cubic", dur, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running the ensemble A/B test (control=cubic, treatment=vegas)...")
+	res, err := ibox.EnsembleTest(corpus, "vegas", ibox.Full, dur, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, ms []ibox.Metrics) {
+		var tput, p95, loss float64
+		for _, m := range ms {
+			tput += m.ThroughputMbps
+			p95 += m.P95DelayMs
+			loss += m.LossPct
+		}
+		k := float64(len(ms))
+		fmt.Printf("  %-14s tput=%.2f Mbps  p95=%.0f ms  loss=%.2f%%\n", name, tput/k, p95/k, loss/k)
+	}
+	fmt.Println("mean per-flow metrics:")
+	report("cubic GT", res.GTControl)
+	report("cubic iBoxNet", res.SimControl)
+	report("vegas GT", res.GTTreatment)
+	report("vegas iBoxNet", res.SimTreatment)
+
+	fmt.Println("two-sample KS, simulated vs ground truth (p > 0.05 ⇒ no detectable mismatch):")
+	for _, key := range []string{"treatment/tput", "treatment/p95", "treatment/loss"} {
+		ks := res.KS[key]
+		verdict := "match"
+		if ks.PValue < 0.05 {
+			verdict = "MISMATCH"
+		}
+		fmt.Printf("  %-16s D=%.3f p=%.3f  %s\n", key, ks.Statistic, ks.PValue, verdict)
+	}
+
+	// The A/B decision a protocol team would actually make:
+	dTput := meanTput(res.SimTreatment) - meanTput(res.SimControl)
+	dTputGT := meanTput(res.GTTreatment) - meanTput(res.GTControl)
+	fmt.Printf("simulator's A/B verdict: vegas−cubic throughput = %+.2f Mbps (ground truth: %+.2f)\n",
+		dTput, dTputGT)
+}
+
+func meanTput(ms []ibox.Metrics) float64 {
+	s := 0.0
+	for _, m := range ms {
+		s += m.ThroughputMbps
+	}
+	return s / float64(len(ms))
+}

@@ -1,0 +1,118 @@
+// Live emulation — Fig 1 made literal, end to end in one process:
+//
+//  1. "Measure" a Cubic flow on a synthetic cellular path and learn an
+//     iBoxNet model from the trace;
+//  2. start a live UDP emulator on loopback with the learnt parameters;
+//  3. send real UDP probes through it and report the one-way delays and
+//     losses a real application would experience.
+//
+// Run with: go run ./examples/liveemu
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"ibox"
+	"ibox/internal/emu"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Learn a model from a "measured" trace.
+	fmt.Println("learning an iBoxNet model from a cubic trace on a cellular path...")
+	corpus, err := ibox.GenerateCorpus(ibox.IndiaCellular(), 1, "cubic", 12*ibox.Second, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := ibox.Fit(corpus.Traces[0], ibox.Full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learnt:", model.Params)
+
+	// 2. A receiver that timestamps arrivals.
+	recvConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recvConn.Close()
+	var mu sync.Mutex
+	arrivals := map[byte]time.Time{}
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, _, err := recvConn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			if n > 0 {
+				mu.Lock()
+				arrivals[buf[0]] = time.Now()
+				mu.Unlock()
+			}
+		}
+	}()
+
+	// 3. The emulator, forwarding to the receiver.
+	e, err := emu.New(emu.Config{
+		Listen:  "127.0.0.1:0",
+		Forward: recvConn.LocalAddr().String(),
+		Params:  model.Params,
+		Variant: ibox.Full,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+	fmt.Printf("live emulator on %s → %s\n", e.Addr(), recvConn.LocalAddr())
+
+	// Probe: 100 × 1 kB packets at 800 kbps through the learnt network.
+	src, err := net.DialUDP("udp", nil, e.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	const n = 100
+	sendTimes := make([]time.Time, n)
+	for i := 0; i < n; i++ {
+		pkt := make([]byte, 1000)
+		pkt[0] = byte(i)
+		sendTimes[i] = time.Now()
+		if _, err := src.Write(pkt); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond) // let the queue drain
+
+	var delays []float64
+	lost := 0
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		at, ok := arrivals[byte(i)]
+		if !ok {
+			lost++
+			continue
+		}
+		delays = append(delays, float64(at.Sub(sendTimes[i]).Microseconds())/1000)
+	}
+	mu.Unlock()
+	sort.Float64s(delays)
+	if len(delays) == 0 {
+		log.Fatal("all probes lost")
+	}
+	fmt.Printf("probes: %d sent, %d delivered, %d lost\n", n, len(delays), lost)
+	fmt.Printf("one-way delay over the learnt network: min=%.1f ms p50=%.1f ms p95=%.1f ms\n",
+		delays[0], delays[len(delays)/2], delays[len(delays)*95/100])
+	fmt.Printf("(learnt propagation delay was %.1f ms — the floor should sit just above it)\n",
+		model.Params.PropDelay.Millis())
+}

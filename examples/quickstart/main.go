@@ -1,0 +1,58 @@
+// Quickstart: the whole iBox loop in one page.
+//
+//  1. Run TCP Cubic over a synthetic cellular path (standing in for a real
+//     Internet measurement) to obtain an input–output trace.
+//  2. Learn an iBoxNet model from that single trace — bottleneck bandwidth,
+//     propagation delay, buffer size, and the cross-traffic time series.
+//  3. Ask the counterfactual question of §2: what would TCP Vegas have
+//     seen on this very path at this very time?
+//  4. Because the "real network" here is itself a simulator, we can also
+//     run Vegas on the true path and check the prediction.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ibox"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A "measured" Cubic trace from a cellular path.
+	corpus, err := ibox.GenerateCorpus(ibox.IndiaCellular(), 1, "cubic", 20*ibox.Second, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cubicTrace := corpus.Traces[0]
+	fmt.Println("measured (cubic):", fmtMetrics(ibox.MetricsOf(cubicTrace)))
+
+	// 2. Learn the network from the trace.
+	model, err := ibox.Fit(cubicTrace, ibox.Full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learnt model:    ", model.Params)
+
+	// 3. The counterfactual: Vegas on the learnt model.
+	vegasSim, err := model.Run("vegas", 20*ibox.Second, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("predicted (vegas):", fmtMetrics(ibox.MetricsOf(vegasSim)))
+
+	// 4. Check against the ground truth the real world cannot give you.
+	vegasGT, err := corpus.Instances[0].Run("vegas", 20*ibox.Second, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("actual (vegas):   ", fmtMetrics(ibox.MetricsOf(vegasGT)))
+}
+
+func fmtMetrics(m ibox.Metrics) string {
+	return fmt.Sprintf("tput=%.2f Mbps  p95 delay=%.0f ms  loss=%.2f%%",
+		m.ThroughputMbps, m.P95DelayMs, m.LossPct)
+}

@@ -1,0 +1,3 @@
+module ibox
+
+go 1.22

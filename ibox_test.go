@@ -1,0 +1,136 @@
+package ibox
+
+// Integration tests of the public facade: the workflows a downstream user
+// would actually run, end to end, through the exported API only.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicFitRunWorkflow(t *testing.T) {
+	corpus, err := GenerateCorpus(Ethernet(), 2, "cubic", 6*Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Traces) != 2 {
+		t.Fatalf("corpus size %d", len(corpus.Traces))
+	}
+	model, err := Fit(corpus.Traces[0], Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := model.Run("vegas", 6*Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := MetricsOf(tr)
+	if m.ThroughputMbps <= 0 || math.IsNaN(m.P95DelayMs) {
+		t.Errorf("degenerate metrics: %+v", m)
+	}
+}
+
+func TestPublicEstimate(t *testing.T) {
+	corpus, err := GenerateCorpus(Ethernet(), 1, "cubic", 6*Second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Estimate(corpus.Traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := corpus.Instances[0]
+	if math.Abs(p.Bandwidth-inst.Net.Rate)/inst.Net.Rate > 0.15 {
+		t.Errorf("estimated bandwidth %.0f vs true %.0f", p.Bandwidth, inst.Net.Rate)
+	}
+}
+
+func TestPublicEnsembleTest(t *testing.T) {
+	corpus, err := GenerateCorpus(IndiaCellular(), 3, "cubic", 6*Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EnsembleTest(corpus, "vegas", Full, 6*Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SimTreatment) != 3 {
+		t.Fatalf("treatment results: %d", len(res.SimTreatment))
+	}
+	if len(res.KS) != 6 {
+		t.Fatalf("KS entries: %d", len(res.KS))
+	}
+}
+
+func TestPublicMLWorkflow(t *testing.T) {
+	corpus, err := GenerateCorpus(IndiaCellular(), 3, "vegas", 6*Second, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []TrainingSample
+	for _, tr := range corpus.Traces {
+		s := TrainingSample{Trace: tr}
+		if p, err := Estimate(tr); err == nil {
+			s.CT = p.CrossTraffic
+		}
+		samples = append(samples, s)
+	}
+	model, err := TrainML(samples, MLConfig{Hidden: 8, Layers: 1, Epochs: 3, UseCrossTraffic: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := model.SimulateTrace(corpus.Traces[0], samples[0].CT, 2)
+	if err := pred.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Packets) != len(corpus.Traces[0].Packets) {
+		t.Error("prediction length mismatch")
+	}
+}
+
+func TestPublicReorderingWorkflow(t *testing.T) {
+	corpus, err := GenerateCorpus(CellularReorder(), 3, "vegas", 6*Second, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []TrainingSample
+	for _, tr := range corpus.Traces[:2] {
+		samples = append(samples, TrainingSample{Trace: tr})
+	}
+	pred, err := TrainReorderLinear(samples, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Fit(corpus.Traces[2], Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inorder, err := model.Run("vegas", 6*Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inorder.ReorderingRate() != 0 {
+		t.Fatal("iBoxNet replay reordered")
+	}
+	aug := AugmentReordering(inorder, pred, model.Params.CrossTraffic, 1)
+	if err := aug.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if aug.ReorderingRate() <= 0 {
+		t.Error("augmentation produced no reordering")
+	}
+}
+
+func TestPublicVariants(t *testing.T) {
+	names := map[Variant]string{
+		Full: "iboxnet", NoCT: "iboxnet-noct", StatLoss: "iboxnet-statloss",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(v), v.String(), want)
+		}
+	}
+}

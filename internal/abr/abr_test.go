@@ -1,0 +1,90 @@
+package abr
+
+import (
+	"testing"
+
+	"ibox/internal/netsim"
+	"ibox/internal/sim"
+)
+
+var ladder = []float64{300_000, 750_000, 1_200_000, 2_850_000, 4_300_000} // bps
+
+func playOn(t *testing.T, rate float64, cfg Config) Result {
+	t.Helper()
+	sched := sim.NewScheduler()
+	path := netsim.New(sched, netsim.Config{
+		Rate: rate, BufferBytes: int(rate / 4), PropDelay: 30 * sim.Millisecond, Seed: 5,
+	})
+	cfg.Bitrates = ladder
+	if cfg.Chunks == 0 {
+		cfg.Chunks = 30
+	}
+	s, err := Run(sched, path.Port("abr"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(20 * 60 * sim.Second)
+	if !s.Done() {
+		t.Fatal("session never finished")
+	}
+	return s.Result()
+}
+
+func TestFastLinkPlaysTopBitrateNoStalls(t *testing.T) {
+	// 20 Mbps link ≫ 4.3 Mbps top rung: high bitrate, zero rebuffering.
+	r := playOn(t, 2_500_000, Config{})
+	if r.RebufferSec > 0.01 {
+		t.Errorf("rebuffered %.2fs on a fast link", r.RebufferSec)
+	}
+	if r.MeanBitrateMbps < 3.0 {
+		t.Errorf("mean bitrate %.2f Mbps, want near top of ladder", r.MeanBitrateMbps)
+	}
+	if r.StartupSec <= 0 || r.StartupSec > 5 {
+		t.Errorf("startup %.2fs implausible", r.StartupSec)
+	}
+}
+
+func TestSlowLinkAdaptsDown(t *testing.T) {
+	// 800 kbps link: the client must sit on the lower rungs; stalls should
+	// remain bounded because the controller adapts.
+	r := playOn(t, 100_000, Config{})
+	if r.MeanBitrateMbps > 1.1 {
+		t.Errorf("mean bitrate %.2f Mbps on an 0.8 Mbps link", r.MeanBitrateMbps)
+	}
+	playSec := 30 * 2.0
+	if r.RebufferSec > playSec/2 {
+		t.Errorf("rebuffered %.1fs of %.0fs: controller not adapting", r.RebufferSec, playSec)
+	}
+}
+
+func TestBufferKnobsTradeOff(t *testing.T) {
+	// A conservative controller (high thresholds) picks lower bitrates but
+	// rebuffers no more than an aggressive one on a tight link.
+	aggressive := playOn(t, 150_000, Config{LowBuffer: 2 * sim.Second, HighBuffer: 6 * sim.Second})
+	conservative := playOn(t, 150_000, Config{LowBuffer: 10 * sim.Second, HighBuffer: 30 * sim.Second})
+	if conservative.MeanBitrateMbps >= aggressive.MeanBitrateMbps {
+		t.Errorf("conservative bitrate %.2f not below aggressive %.2f",
+			conservative.MeanBitrateMbps, aggressive.MeanBitrateMbps)
+	}
+	if conservative.RebufferSec > aggressive.RebufferSec+1 {
+		t.Errorf("conservative rebuffered more: %.1fs vs %.1fs",
+			conservative.RebufferSec, aggressive.RebufferSec)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	if _, err := Run(sched, nil, Config{Chunks: 5}); err == nil {
+		t.Error("no bitrates accepted")
+	}
+	if _, err := Run(sched, nil, Config{Bitrates: ladder}); err == nil {
+		t.Error("zero chunks accepted")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{MeanBitrateMbps: 1.5, RebufferSec: 2, Switches: 3, QoE: 0.7}
+	if s := r.String(); len(s) == 0 {
+		t.Error("empty String")
+	}
+}

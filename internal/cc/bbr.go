@@ -1,0 +1,148 @@
+package cc
+
+import (
+	"math"
+
+	"ibox/internal/sim"
+)
+
+// BBR is a simplified BBRv1: it estimates the bottleneck bandwidth with a
+// windowed-max filter over delivery-rate samples and the propagation RTT
+// with a windowed-min filter, paces at gain × btlBw, and caps inflight at
+// 2×BDP. The startup phase uses a high gain until bandwidth growth
+// plateaus; steady state cycles pacing gains to probe for bandwidth and
+// drain the queue.
+type BBR struct {
+	packetSize int
+
+	btlBw    float64 // bytes/sec, windowed max
+	bwWindow []bwSample
+	minRTT   sim.Time
+	rttStamp sim.Time
+
+	state      bbrState
+	fullBwSeen float64
+	fullBwCnt  int
+	cycleIdx   int
+	cycleStamp sim.Time
+}
+
+type bwSample struct {
+	at sim.Time
+	bw float64
+}
+
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+)
+
+var bbrCycleGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+const (
+	bbrStartupGain = 2.885 // 2/ln(2)
+	bbrDrainGain   = 1 / 2.885
+	bbrBwWindowDur = 10 * sim.Second
+)
+
+// NewBBR returns a simplified BBR sender; packetSize must match the flow's.
+func NewBBR(packetSize int) *BBR {
+	if packetSize <= 0 {
+		packetSize = 1500
+	}
+	return &BBR{packetSize: packetSize, btlBw: 1e5} // modest initial rate estimate
+}
+
+func (b *BBR) Name() string { return "bbr" }
+
+func (b *BBR) OnAck(now sim.Time, ack Ack) {
+	// Delivery-rate sample: bytes delivered between this packet's send and
+	// now, over that interval.
+	elapsed := ack.AckTime - ack.SendTime
+	if elapsed > 0 {
+		bw := float64(ack.Delivered-ack.DeliveredAtSend) / elapsed.Seconds()
+		b.bwWindow = append(b.bwWindow, bwSample{now, bw})
+	}
+	// Expire old samples and recompute the max filter.
+	cut := now - bbrBwWindowDur
+	keep := b.bwWindow[:0]
+	maxBw := 0.0
+	for _, s := range b.bwWindow {
+		if s.at >= cut {
+			keep = append(keep, s)
+			if s.bw > maxBw {
+				maxBw = s.bw
+			}
+		}
+	}
+	b.bwWindow = keep
+	if maxBw > 0 {
+		b.btlBw = maxBw
+	}
+
+	rtt := ack.RTT()
+	if b.minRTT == 0 || rtt < b.minRTT || now-b.rttStamp > 10*sim.Second {
+		b.minRTT = rtt
+		b.rttStamp = now
+	}
+
+	switch b.state {
+	case bbrStartup:
+		// Exit startup when bandwidth stops growing 25% per round (three
+		// consecutive non-growing samples).
+		if b.btlBw > b.fullBwSeen*1.25 {
+			b.fullBwSeen = b.btlBw
+			b.fullBwCnt = 0
+		} else {
+			b.fullBwCnt++
+			if b.fullBwCnt >= 3 {
+				b.state = bbrDrain
+			}
+		}
+	case bbrDrain:
+		// Drain until inflight ≲ BDP, approximated by one minRTT of draining.
+		if now-b.rttStamp > b.minRTT {
+			b.state = bbrProbeBW
+			b.cycleStamp = now
+		}
+	case bbrProbeBW:
+		if b.minRTT > 0 && now-b.cycleStamp > b.minRTT {
+			b.cycleIdx = (b.cycleIdx + 1) % len(bbrCycleGains)
+			b.cycleStamp = now
+		}
+	}
+}
+
+func (b *BBR) OnLoss(now sim.Time, seq int64, sendTime sim.Time) {
+	// BBRv1 largely ignores individual losses; rate adapts via the filters.
+}
+
+// Window caps inflight at 2×BDP (in packets).
+func (b *BBR) Window() int {
+	if b.minRTT == 0 || b.btlBw == 0 {
+		return 64
+	}
+	bdpBytes := b.btlBw * b.minRTT.Seconds()
+	w := int(math.Ceil(2 * bdpBytes / float64(b.packetSize)))
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// PacingRate is gain × estimated bottleneck bandwidth.
+func (b *BBR) PacingRate() float64 {
+	gain := 1.0
+	switch b.state {
+	case bbrStartup:
+		gain = bbrStartupGain
+	case bbrDrain:
+		gain = bbrDrainGain
+	case bbrProbeBW:
+		gain = bbrCycleGains[b.cycleIdx]
+	}
+	return gain * b.btlBw
+}

@@ -1,0 +1,418 @@
+// Package cc implements the congestion-control protocols used throughout
+// the paper's evaluation — TCP Cubic (the paper's "control" protocol A),
+// TCP Vegas (the delay-sensitive "treatment" protocol B), TCP Reno, a
+// simplified BBR, a constant-bit-rate sender, and an RTC-style delay-
+// gradient rate controller — together with the ACK-clocked transport
+// harness (Flow) that runs any of them over any network path.
+//
+// The central property this package provides is the counterfactual
+// machinery of §2: the same Sender implementation runs closed-loop both on
+// the ground-truth simulator (internal/netsim) and on the learnt iBoxNet
+// emulator (internal/iboxnet), because both expose the Network interface.
+package cc
+
+import (
+	"fmt"
+
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// Network is the one-way data path a flow sends over. Packets are injected
+// with Send; for each packet exactly one of the callbacks eventually fires
+// on the simulation scheduler: onDeliver with the receiver-side timestamp,
+// or onDrop. The return (ACK) path is modelled by the Flow itself as a
+// fixed delay, matching the iBoxNet abstraction where the learnt
+// parameters describe the one-way data direction.
+type Network interface {
+	Now() sim.Time
+	Send(size int, onDeliver func(recv sim.Time), onDrop func())
+}
+
+// Ack carries the receiver feedback for one delivered packet.
+type Ack struct {
+	Seq      int64
+	Size     int
+	SendTime sim.Time // when the packet left the sender
+	RecvTime sim.Time // receiver timestamp (one-way delay = RecvTime−SendTime)
+	AckTime  sim.Time // when the ack reached the sender (RTT = AckTime−SendTime)
+	// DeliveredAtSend is the flow's cumulative delivered byte count at the
+	// moment this packet was sent; with Delivered it enables BBR-style
+	// delivery-rate sampling.
+	DeliveredAtSend int64
+	Delivered       int64 // cumulative delivered bytes including this packet
+}
+
+// RTT returns the measured round-trip time for the acked packet.
+func (a Ack) RTT() sim.Time { return a.AckTime - a.SendTime }
+
+// OWD returns the measured one-way delay for the acked packet.
+func (a Ack) OWD() sim.Time { return a.RecvTime - a.SendTime }
+
+// Sender is a congestion-control algorithm. The Flow harness drives it
+// with acknowledgment and loss events and consults Window (in packets)
+// and/or PacingRate (bytes/sec) to decide when to transmit.
+//
+// Window-based senders (Cubic, Vegas, Reno) return PacingRate() == 0 and a
+// positive Window(). Rate-based senders (CBR, RTC) return Window() == 0
+// and a positive PacingRate(). Hybrid senders (BBR) return both: sends are
+// paced at PacingRate and additionally capped by Window.
+type Sender interface {
+	// Name identifies the algorithm, e.g. "cubic".
+	Name() string
+	// OnAck is invoked when an acknowledgment arrives at the sender.
+	OnAck(now sim.Time, ack Ack)
+	// OnLoss is invoked once per packet the harness declares lost (by
+	// duplicate-ack reordering threshold or retransmission timeout).
+	OnLoss(now sim.Time, seq int64, sendTime sim.Time)
+	// Window returns the congestion window in packets (0 = unlimited/not
+	// window-controlled).
+	Window() int
+	// PacingRate returns the send rate in bytes/sec (0 = ack-clocked only).
+	PacingRate() float64
+}
+
+// FlowConfig parameterizes a transport harness run.
+type FlowConfig struct {
+	PacketSize int      // bytes per packet; default 1500
+	AckDelay   sim.Time // return-path delay; default 10 ms
+	Start      sim.Time // when the flow begins sending
+	Duration   sim.Time // how long the flow sends; required
+	// DupAckThreshold is the reordering tolerance before a gap is declared
+	// a loss; default 3 (TCP's classic dupack threshold).
+	DupAckThreshold int
+	// MinRTO bounds the retransmission-timeout fallback; default 200 ms.
+	MinRTO sim.Time
+	// MaxInflight caps outstanding packets as a safety net; default 10000.
+	MaxInflight int
+	// Bytes, when positive, ends the flow after that many bytes have been
+	// sent (an application-limited transfer, e.g. one video chunk) — the
+	// flow still also respects Duration as an upper bound.
+	Bytes int64
+	// OnComplete, when non-nil, fires once when every sent packet has been
+	// acked or declared lost after the flow stopped sending — the moment a
+	// byte-limited transfer is finished.
+	OnComplete func(at sim.Time)
+}
+
+func (c *FlowConfig) withDefaults() FlowConfig {
+	out := *c
+	if out.PacketSize <= 0 {
+		out.PacketSize = 1500
+	}
+	if out.AckDelay <= 0 {
+		out.AckDelay = 10 * sim.Millisecond
+	}
+	if out.DupAckThreshold <= 0 {
+		out.DupAckThreshold = 3
+	}
+	if out.MinRTO <= 0 {
+		out.MinRTO = 200 * sim.Millisecond
+	}
+	if out.MaxInflight <= 0 {
+		out.MaxInflight = 10000
+	}
+	return out
+}
+
+// Flow is the transport harness: it ack-clocks or paces a Sender over a
+// Network, detects losses, and records the input–output packet trace.
+type Flow struct {
+	sched  *sim.Scheduler
+	net    Network
+	sender Sender
+	cfg    FlowConfig
+
+	nextSeq     int64
+	outstanding map[int64]*outPacket
+	// sendOrder lists sequence numbers in send order; front is the index
+	// of the oldest possibly-outstanding entry. Gap-based loss detection
+	// scans from front, which is amortized O(1) per packet regardless of
+	// window size (a naive per-ack scan of the outstanding map is
+	// quadratic for large windows).
+	sendOrder   []int64
+	front       int
+	inflight    int
+	highestAck  int64
+	delivered   int64 // cumulative delivered bytes
+	srtt        sim.Time
+	rttvar      sim.Time
+	rtoTimer    sim.EventID
+	rtoArmed    bool
+	pacingNext  sim.Time
+	pacingArmed bool
+	done        bool
+
+	trace trace.Trace
+}
+
+type outPacket struct {
+	seq      int64
+	size     int
+	sendTime sim.Time
+	delAtSnd int64
+	traceIdx int
+}
+
+// NewFlow builds a harness for one sender over one network.
+func NewFlow(sched *sim.Scheduler, net Network, sender Sender, cfg FlowConfig) *Flow {
+	if cfg.Duration <= 0 {
+		panic(fmt.Sprintf("cc: flow duration must be positive, got %v", cfg.Duration))
+	}
+	f := &Flow{
+		sched:       sched,
+		net:         net,
+		sender:      sender,
+		cfg:         cfg.withDefaults(),
+		outstanding: map[int64]*outPacket{},
+		highestAck:  -1,
+	}
+	f.trace.Protocol = sender.Name()
+	return f
+}
+
+// Start schedules the flow's first transmission opportunity.
+func (f *Flow) Start() {
+	at := f.cfg.Start
+	if at < f.sched.Now() {
+		at = f.sched.Now()
+	}
+	f.sched.At(at, func() {
+		f.pacingNext = f.sched.Now()
+		f.trySend()
+	})
+}
+
+// Trace returns the packet trace recorded so far. The returned pointer
+// aliases the flow's internal state; read it only after the simulation has
+// been driven past the flow's end.
+func (f *Flow) Trace() *trace.Trace { return &f.trace }
+
+// Done reports whether the flow has finished sending and has no packets
+// outstanding.
+func (f *Flow) Done() bool { return f.done && f.inflight == 0 }
+
+// sendingOver reports whether the sending window of the flow has ended.
+func (f *Flow) sendingOver() bool {
+	if f.cfg.Bytes > 0 && f.nextSeq*int64(f.cfg.PacketSize) >= f.cfg.Bytes {
+		return true
+	}
+	return f.sched.Now() >= f.cfg.Start+f.cfg.Duration
+}
+
+// maybeComplete fires OnComplete once the flow has stopped sending and
+// nothing is outstanding.
+func (f *Flow) maybeComplete() {
+	if f.cfg.OnComplete == nil || !f.done || f.inflight != 0 {
+		return
+	}
+	cb := f.cfg.OnComplete
+	f.cfg.OnComplete = nil
+	cb(f.sched.Now())
+}
+
+// trySend transmits as many packets as the sender's window and pacing rate
+// currently allow.
+func (f *Flow) trySend() {
+	if f.sendingOver() {
+		f.done = true
+		f.maybeComplete()
+		return
+	}
+	now := f.sched.Now()
+	rate := f.sender.PacingRate()
+	win := f.sender.Window()
+
+	if rate > 0 {
+		// Paced mode: one packet per size/rate interval, window as a cap if
+		// the sender provides one. At most one pacing timer is ever armed.
+		if now < f.pacingNext {
+			f.armPacing()
+			return
+		}
+		if win > 0 && f.inflight >= win {
+			// Window-limited; the next ack will re-trigger sending.
+			return
+		}
+		if f.inflight < f.cfg.MaxInflight {
+			f.transmit()
+		}
+		gap := sim.Time(float64(f.cfg.PacketSize) / rate * float64(sim.Second))
+		if gap < 1 {
+			gap = 1
+		}
+		f.pacingNext = now + gap
+		f.armPacing()
+		return
+	}
+
+	// Pure window mode: fill the window now; acks clock further sends.
+	for f.inflight < win && f.inflight < f.cfg.MaxInflight && !f.sendingOver() {
+		f.transmit()
+	}
+}
+
+// armPacing schedules the next paced transmission opportunity, ensuring a
+// single pending pacing event regardless of how many acks call trySend in
+// between.
+func (f *Flow) armPacing() {
+	if f.pacingArmed {
+		return
+	}
+	f.pacingArmed = true
+	f.sched.At(f.pacingNext, func() {
+		f.pacingArmed = false
+		f.trySend()
+	})
+}
+
+// transmit sends one packet and records it.
+func (f *Flow) transmit() {
+	now := f.sched.Now()
+	seq := f.nextSeq
+	f.nextSeq++
+	pkt := &outPacket{
+		seq:      seq,
+		size:     f.cfg.PacketSize,
+		sendTime: now,
+		delAtSnd: f.delivered,
+		traceIdx: len(f.trace.Packets),
+	}
+	f.outstanding[seq] = pkt
+	f.sendOrder = append(f.sendOrder, seq)
+	f.inflight++
+	f.trace.Packets = append(f.trace.Packets, trace.Packet{
+		Seq: seq, Size: pkt.size, SendTime: now, Lost: true, // until delivered
+	})
+	f.armRTO()
+	f.net.Send(pkt.size, func(recv sim.Time) {
+		// The packet reached the receiver; the ack returns after AckDelay.
+		f.trace.Packets[pkt.traceIdx].RecvTime = recv
+		f.trace.Packets[pkt.traceIdx].Lost = false
+		f.sched.After(f.cfg.AckDelay, func() { f.onAckArrived(pkt, recv) })
+	}, func() {
+		// Dropped in the network. The trace already marks it lost; the
+		// sender finds out via dupacks or RTO, not via this callback.
+	})
+}
+
+// onAckArrived processes the receiver's acknowledgment for pkt.
+func (f *Flow) onAckArrived(pkt *outPacket, recv sim.Time) {
+	now := f.sched.Now()
+	if _, ok := f.outstanding[pkt.seq]; !ok {
+		return // already declared lost by RTO
+	}
+	delete(f.outstanding, pkt.seq)
+	f.inflight--
+	f.delivered += int64(pkt.size)
+	if pkt.seq > f.highestAck {
+		f.highestAck = pkt.seq
+	}
+	f.updateRTT(now - pkt.sendTime)
+
+	ack := Ack{
+		Seq: pkt.seq, Size: pkt.size,
+		SendTime: pkt.sendTime, RecvTime: recv, AckTime: now,
+		DeliveredAtSend: pkt.delAtSnd, Delivered: f.delivered,
+	}
+	f.sender.OnAck(now, ack)
+	f.detectLosses(now)
+	f.rearmRTO()
+	f.trySend()
+	f.maybeComplete()
+}
+
+// detectLosses declares packets lost once DupAckThreshold higher-sequence
+// packets have been acked (SACK-style gap detection). Because sequence
+// numbers are sent in order and the threshold only advances, scanning from
+// the front of the send-order list visits each packet once over the
+// flow's lifetime.
+func (f *Flow) detectLosses(now sim.Time) {
+	thresh := f.highestAck - int64(f.cfg.DupAckThreshold)
+	for f.front < len(f.sendOrder) {
+		seq := f.sendOrder[f.front]
+		pkt, ok := f.outstanding[seq]
+		if !ok {
+			f.front++ // already acked or declared lost
+			continue
+		}
+		if seq >= thresh {
+			break
+		}
+		f.front++
+		delete(f.outstanding, seq)
+		f.inflight--
+		f.sender.OnLoss(now, pkt.seq, pkt.sendTime)
+	}
+	// Reclaim consumed prefix occasionally so memory stays bounded.
+	if f.front > 4096 && f.front*2 > len(f.sendOrder) {
+		f.sendOrder = append([]int64(nil), f.sendOrder[f.front:]...)
+		f.front = 0
+	}
+}
+
+// updateRTT maintains the smoothed RTT estimate (RFC 6298 coefficients).
+func (f *Flow) updateRTT(rtt sim.Time) {
+	if f.srtt == 0 {
+		f.srtt = rtt
+		f.rttvar = rtt / 2
+		return
+	}
+	diff := f.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	f.rttvar = (3*f.rttvar + diff) / 4
+	f.srtt = (7*f.srtt + rtt) / 8
+}
+
+// rto returns the current retransmission timeout.
+func (f *Flow) rto() sim.Time {
+	rto := f.srtt + 4*f.rttvar
+	if rto < f.cfg.MinRTO {
+		rto = f.cfg.MinRTO
+	}
+	return rto
+}
+
+func (f *Flow) armRTO() {
+	if f.rtoArmed {
+		return
+	}
+	f.rtoArmed = true
+	f.rtoTimer = f.sched.After(f.rto(), f.onRTO)
+}
+
+func (f *Flow) rearmRTO() {
+	if f.rtoArmed {
+		f.sched.Cancel(f.rtoTimer)
+		f.rtoArmed = false
+	}
+	if len(f.outstanding) > 0 {
+		f.armRTO()
+	}
+}
+
+// onRTO fires when no ack has arrived for a full RTO: every outstanding
+// packet is declared lost (tail-loss recovery).
+func (f *Flow) onRTO() {
+	f.rtoArmed = false
+	now := f.sched.Now()
+	var seqs []int64
+	for seq := range f.outstanding {
+		seqs = append(seqs, seq)
+	}
+	for i := 1; i < len(seqs); i++ {
+		for j := i; j > 0 && seqs[j] < seqs[j-1]; j-- {
+			seqs[j], seqs[j-1] = seqs[j-1], seqs[j]
+		}
+	}
+	for _, seq := range seqs {
+		pkt := f.outstanding[seq]
+		delete(f.outstanding, seq)
+		f.inflight--
+		f.sender.OnLoss(now, pkt.seq, pkt.sendTime)
+	}
+	f.trySend()
+	f.maybeComplete()
+}

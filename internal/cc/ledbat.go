@@ -1,0 +1,71 @@
+package cc
+
+import (
+	"math"
+
+	"ibox/internal/sim"
+)
+
+// LEDBAT implements the Low Extra Delay Background Transport controller
+// (RFC 6817), the scavenger class used by BitTorrent/µTP and OS update
+// services: it targets a fixed small amount of *extra* one-way queueing
+// delay and backs off proportionally as the measurement approaches the
+// target, so it yields to any loss- or delay-based foreground flow while
+// consuming spare capacity otherwise. Including it broadens the treatment-
+// protocol diversity available to the A/B machinery (§2): LEDBAT is even
+// more delay-averse than Vegas.
+type LEDBAT struct {
+	cwnd    float64 // packets
+	target  sim.Time
+	gain    float64
+	base    sim.Time // base (propagation) one-way delay estimate
+	baseAt  sim.Time // when base was last reset
+	lastCut sim.Time
+}
+
+// LEDBATConfig parameterizes the controller; zero values pick RFC-style
+// defaults scaled to simulation (Target 25 ms, Gain 1).
+type LEDBATConfig struct {
+	Target sim.Time // target extra queueing delay; default 25 ms
+	Gain   float64  // cwnd gain per off-target RTT; default 1
+}
+
+// NewLEDBAT returns a LEDBAT sender.
+func NewLEDBAT(cfg LEDBATConfig) *LEDBAT {
+	if cfg.Target <= 0 {
+		cfg.Target = 25 * sim.Millisecond
+	}
+	if cfg.Gain <= 0 {
+		cfg.Gain = 1
+	}
+	return &LEDBAT{cwnd: 2, target: cfg.Target, gain: cfg.Gain, lastCut: -1}
+}
+
+func (l *LEDBAT) Name() string { return "ledbat" }
+
+func (l *LEDBAT) OnAck(now sim.Time, ack Ack) {
+	owd := ack.OWD()
+	// Base-delay filter with a 2-minute reset horizon (route changes).
+	if l.base == 0 || owd < l.base || now-l.baseAt > 2*60*sim.Second {
+		l.base = owd
+		l.baseAt = now
+	}
+	queuing := owd - l.base
+	offTarget := float64(l.target-queuing) / float64(l.target)
+	// RFC 6817 §2.4.2 controller, per-ack form.
+	l.cwnd += l.gain * offTarget / l.cwnd
+	if l.cwnd < 2 {
+		l.cwnd = 2
+	}
+}
+
+func (l *LEDBAT) OnLoss(now sim.Time, seq int64, sendTime sim.Time) {
+	if sendTime <= l.lastCut {
+		return
+	}
+	l.lastCut = now
+	l.cwnd = math.Max(l.cwnd/2, 2)
+}
+
+func (l *LEDBAT) Window() int         { return windowInt(l.cwnd) }
+func (l *LEDBAT) PacingRate() float64 { return 0 }

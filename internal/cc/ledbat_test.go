@@ -1,0 +1,61 @@
+package cc
+
+import (
+	"testing"
+
+	"ibox/internal/netsim"
+	"ibox/internal/sim"
+)
+
+func TestLEDBATKeepsQueueNearTarget(t *testing.T) {
+	// Alone on a 10 Mbps path, LEDBAT should hold queueing delay near its
+	// 25 ms target — far below the 100 ms the buffer allows — while still
+	// using most of the link.
+	tr := runFlow(t, NewLEDBAT(LEDBATConfig{}), tenMbps(), 20*sim.Second)
+	minD, _ := tr.MinDelay()
+	p95 := tr.DelayPercentile(95)
+	queuing95 := p95 - minD.Millis()
+	if queuing95 > 60 {
+		t.Errorf("p95 queueing delay = %.1f ms, want near 25 ms target", queuing95)
+	}
+	if queuing95 < 5 {
+		t.Errorf("p95 queueing delay = %.1f ms: not using the queue at all?", queuing95)
+	}
+	if util := tr.Throughput() / 10e6; util < 0.6 {
+		t.Errorf("solo utilization = %.2f, want ≥ 0.6", util)
+	}
+	if tr.LossRate() > 0.01 {
+		t.Errorf("loss rate %.4f: LEDBAT should stay under the buffer", tr.LossRate())
+	}
+}
+
+func TestLEDBATYieldsToCubic(t *testing.T) {
+	// The scavenger property: sharing with Cubic, LEDBAT should end up
+	// with a small share.
+	cfg := tenMbps()
+	sched := sim.NewScheduler()
+	path := netsim.New(sched, cfg)
+	fg := NewFlow(sched, path.Port("fg"), NewCubic(), FlowConfig{Duration: 20 * sim.Second, AckDelay: cfg.PropDelay})
+	bg := NewFlow(sched, path.Port("bg"), NewLEDBAT(LEDBATConfig{}), FlowConfig{Duration: 20 * sim.Second, AckDelay: cfg.PropDelay})
+	fg.Start()
+	bg.Start()
+	sched.RunUntil(25 * sim.Second)
+	cubicT := fg.Trace().Throughput()
+	ledbatT := bg.Trace().Throughput()
+	if ledbatT > cubicT/2 {
+		t.Errorf("scavenger took %.2f Mbps vs cubic %.2f: not yielding", ledbatT/1e6, cubicT/1e6)
+	}
+	if cubicT < 6e6 {
+		t.Errorf("cubic got only %.2f Mbps against a scavenger", cubicT/1e6)
+	}
+}
+
+func TestLEDBATInRegistry(t *testing.T) {
+	s, err := NewSender("ledbat", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "ledbat" {
+		t.Errorf("name %q", s.Name())
+	}
+}

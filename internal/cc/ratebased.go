@@ -1,0 +1,122 @@
+package cc
+
+import (
+	"math"
+
+	"ibox/internal/sim"
+)
+
+// CBR is a constant-bit-rate sender: it paces packets at a fixed rate and
+// never reacts to the network. §4.2 uses a high-rate CBR sender to expose
+// the control-loop bias of models trained only on adaptive traffic.
+type CBR struct {
+	rate float64 // bytes per second
+}
+
+// NewCBR returns a sender pacing at rate bytes/sec.
+func NewCBR(rate float64) *CBR {
+	if rate <= 0 {
+		panic("cc: CBR rate must be positive")
+	}
+	return &CBR{rate: rate}
+}
+
+func (c *CBR) Name() string                                      { return "cbr" }
+func (c *CBR) OnAck(now sim.Time, ack Ack)                       {}
+func (c *CBR) OnLoss(now sim.Time, seq int64, sendTime sim.Time) {}
+func (c *CBR) Window() int                                       { return 0 }
+func (c *CBR) PacingRate() float64                               { return c.rate }
+
+// RTC is a real-time-conferencing-style rate controller in the spirit of
+// Google Congestion Control: it watches the gradient of one-way delay,
+// multiplicatively decreasing when delay is rising (congestion building)
+// and gently increasing while delay is stable. Its tight delay-sensitive
+// control loop is exactly the trace source that induces the control-loop
+// bias studied in §4.2 and Table 1.
+type RTC struct {
+	rate    float64 // bytes per second
+	minRate float64
+	maxRate float64
+
+	lastOWD      sim.Time
+	gradient     float64 // filtered d(OWD)/dt, ms per ms
+	lastAckTime  sim.Time
+	lastAdjust   sim.Time
+	overuseCount int
+	lossWindow   int
+	ackWindow    int
+}
+
+// RTCConfig parameterizes the controller. Zero values select defaults.
+type RTCConfig struct {
+	InitialRate float64 // bytes/sec; default 62500 (500 kbps)
+	MinRate     float64 // default 12500 (100 kbps)
+	MaxRate     float64 // default 2.5e6 (20 Mbps)
+}
+
+// NewRTC returns a delay-gradient rate controller.
+func NewRTC(cfg RTCConfig) *RTC {
+	if cfg.InitialRate <= 0 {
+		cfg.InitialRate = 62_500
+	}
+	if cfg.MinRate <= 0 {
+		cfg.MinRate = 12_500
+	}
+	if cfg.MaxRate <= 0 {
+		cfg.MaxRate = 2_500_000
+	}
+	return &RTC{rate: cfg.InitialRate, minRate: cfg.MinRate, maxRate: cfg.MaxRate}
+}
+
+func (r *RTC) Name() string { return "rtc" }
+
+// rtcOveruseThreshold is the filtered delay-gradient (dimensionless,
+// ms delay growth per ms wall time) above which the controller declares
+// overuse.
+const rtcOveruseThreshold = 0.01
+
+func (r *RTC) OnAck(now sim.Time, ack Ack) {
+	r.ackWindow++
+	owd := ack.OWD()
+	if r.lastAckTime > 0 && now > r.lastAckTime {
+		instGrad := float64(owd-r.lastOWD) / float64(now-r.lastAckTime)
+		// Exponentially weighted filter over the instantaneous gradient.
+		r.gradient = 0.9*r.gradient + 0.1*instGrad
+	}
+	r.lastOWD = owd
+	r.lastAckTime = now
+
+	// Rate decisions at 100 ms cadence.
+	if now-r.lastAdjust < 100*sim.Millisecond {
+		return
+	}
+	r.lastAdjust = now
+	lossFrac := 0.0
+	if r.ackWindow+r.lossWindow > 0 {
+		lossFrac = float64(r.lossWindow) / float64(r.ackWindow+r.lossWindow)
+	}
+	r.ackWindow, r.lossWindow = 0, 0
+
+	switch {
+	case r.gradient > rtcOveruseThreshold || lossFrac > 0.1:
+		r.overuseCount++
+		r.rate *= 0.85
+	case r.gradient < -rtcOveruseThreshold/2:
+		// Delay falling: hold, let the queue drain.
+	default:
+		r.rate *= 1.05
+	}
+	r.rate = math.Max(r.minRate, math.Min(r.maxRate, r.rate))
+}
+
+func (r *RTC) OnLoss(now sim.Time, seq int64, sendTime sim.Time) {
+	r.lossWindow++
+}
+
+func (r *RTC) Window() int { return 0 }
+
+func (r *RTC) PacingRate() float64 { return r.rate }
+
+// Rate exposes the controller's current target rate (for tests and
+// diagnostics).
+func (r *RTC) Rate() float64 { return r.rate }

@@ -1,0 +1,32 @@
+package cc
+
+import "fmt"
+
+// NewSender constructs a sender by protocol name. Supported names:
+// "cubic", "vegas", "reno", "bbr", "cbr" and "rtc". CBR's rate and RTC's
+// configuration take library defaults; construct those directly when the
+// defaults do not fit.
+func NewSender(name string, packetSize int) (Sender, error) {
+	switch name {
+	case "cubic":
+		return NewCubic(), nil
+	case "vegas":
+		return NewVegas(), nil
+	case "reno":
+		return NewReno(), nil
+	case "bbr":
+		return NewBBR(packetSize), nil
+	case "cbr":
+		return NewCBR(125_000), nil // 1 Mbps default
+	case "rtc":
+		return NewRTC(RTCConfig{}), nil
+	case "ledbat":
+		return NewLEDBAT(LEDBATConfig{}), nil
+	}
+	return nil, fmt.Errorf("cc: unknown protocol %q", name)
+}
+
+// Protocols lists the names NewSender accepts.
+func Protocols() []string {
+	return []string{"cubic", "vegas", "reno", "bbr", "cbr", "rtc", "ledbat"}
+}

@@ -1,0 +1,261 @@
+// Package emu turns a learnt iBoxNet model into a *live* network emulator
+// — the literal "Internet in a Box" of Fig 1, where the learnt parameters
+// are "set on the NetEm emulator". It forwards real UDP datagrams from a
+// listen socket to a destination, imposing in wall-clock time the learnt
+// path's bottleneck serialization, FIFO byte-limited queueing (with
+// drop-tail overflow), propagation delay, replayed cross traffic, and —
+// for the StatLoss variant — random loss. Point an actual application at
+// it and it experiences the learnt network.
+package emu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ibox/internal/iboxnet"
+)
+
+// Config parameterizes a live emulator.
+type Config struct {
+	// Listen is the UDP address to accept traffic on, e.g. "127.0.0.1:0".
+	Listen string
+	// Forward is the UDP address delivered traffic is sent to.
+	Forward string
+	// Params is the learnt path model.
+	Params iboxnet.Params
+	// Variant selects which learnt components apply (Full replays cross
+	// traffic; NoCT does not; StatLoss applies random loss instead).
+	Variant iboxnet.Variant
+	// QueueCap bounds the in-flight packet buffer; default 4096 packets.
+	QueueCap int
+	// Seed drives the variant's randomness.
+	Seed int64
+}
+
+// Stats are the emulator's running counters.
+type Stats struct {
+	Received  uint64
+	Delivered uint64
+	Dropped   uint64 // buffer overflow + random loss
+}
+
+// Emulator is a running instance.
+type Emulator struct {
+	cfg  Config
+	conn *net.UDPConn
+	out  *net.UDPConn
+
+	mu        sync.Mutex
+	queuedB   float64   // simulated bottleneck backlog, bytes
+	lastDrain time.Time // when queuedB was last advanced
+	ctIdx     int       // next cross-traffic window to inject
+	started   time.Time
+	rngState  uint64
+
+	deliveries chan delivery
+	received   atomic.Uint64
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+}
+
+type delivery struct {
+	due  time.Time
+	data []byte
+}
+
+// New binds the sockets and prepares the emulator; call Run to serve.
+func New(cfg Config) (*Emulator, error) {
+	if cfg.Params.Bandwidth <= 0 || cfg.Params.BufferBytes <= 0 {
+		return nil, fmt.Errorf("emu: invalid params %v", cfg.Params)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("emu: listen addr: %w", err)
+	}
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Forward)
+	if err != nil {
+		return nil, fmt.Errorf("emu: forward addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: listen: %w", err)
+	}
+	out, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("emu: dial forward: %w", err)
+	}
+	seed := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	if seed == 0 {
+		seed = 1
+	}
+	return &Emulator{
+		cfg: cfg, conn: conn, out: out,
+		deliveries: make(chan delivery, cfg.QueueCap),
+		rngState:   seed,
+	}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (e *Emulator) Addr() *net.UDPAddr { return e.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns a snapshot of the counters.
+func (e *Emulator) Stats() Stats {
+	return Stats{
+		Received:  e.received.Load(),
+		Delivered: e.delivered.Load(),
+		Dropped:   e.dropped.Load(),
+	}
+}
+
+// Run serves until the context is cancelled. It returns nil on clean
+// shutdown.
+func (e *Emulator) Run(ctx context.Context) error {
+	e.mu.Lock()
+	e.started = time.Now()
+	e.lastDrain = e.started
+	e.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.deliverLoop(ctx)
+	}()
+
+	stop := context.AfterFunc(ctx, func() {
+		e.conn.SetReadDeadline(time.Now())
+	})
+	defer stop()
+
+	buf := make([]byte, 65536)
+	var err error
+	for {
+		var n int
+		n, _, err = e.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				err = nil
+			}
+			break
+		}
+		e.received.Add(1)
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		e.admit(pkt)
+	}
+	close(e.deliveries)
+	wg.Wait()
+	e.conn.Close()
+	e.out.Close()
+	return err
+}
+
+// admit runs the packet through the simulated bottleneck and schedules
+// delivery (or drops it).
+func (e *Emulator) admit(pkt []byte) {
+	now := time.Now()
+	e.mu.Lock()
+	e.advanceQueue(now)
+	// Drop-tail admission.
+	if e.queuedB+float64(len(pkt)) > float64(e.cfg.Params.BufferBytes) {
+		e.mu.Unlock()
+		e.dropped.Add(1)
+		return
+	}
+	// Random loss (StatLoss variant).
+	if e.cfg.Variant == iboxnet.StatLoss && e.cfg.Params.LossRate > 0 {
+		if e.randFloat() < e.cfg.Params.LossRate {
+			e.mu.Unlock()
+			e.dropped.Add(1)
+			return
+		}
+	}
+	e.queuedB += float64(len(pkt))
+	// FIFO delivery time: propagation + serialization of everything ahead
+	// of (and including) this packet.
+	delay := time.Duration(e.cfg.Params.PropDelay) +
+		time.Duration(e.queuedB/e.cfg.Params.Bandwidth*float64(time.Second))
+	e.mu.Unlock()
+
+	select {
+	case e.deliveries <- delivery{due: now.Add(delay), data: pkt}:
+	default:
+		e.dropped.Add(1) // scheduling buffer full
+	}
+}
+
+// advanceQueue brings the virtual queue state up to wall-clock time `now`:
+// it walks the timeline, interleaving continuous drain at the bottleneck
+// rate with the cross-traffic windows' byte injections at their scheduled
+// times (injecting pending windows all at once would overstate the backlog
+// — bytes injected long ago have partly drained). Callers hold e.mu.
+func (e *Emulator) advanceQueue(now time.Time) {
+	drainTo := func(t time.Time) {
+		elapsed := t.Sub(e.lastDrain).Seconds()
+		if elapsed <= 0 {
+			return
+		}
+		e.lastDrain = t
+		e.queuedB -= elapsed * e.cfg.Params.Bandwidth
+		if e.queuedB < 0 {
+			e.queuedB = 0
+		}
+	}
+	if e.cfg.Variant == iboxnet.Full && e.cfg.Params.CrossTraffic != nil {
+		ct := e.cfg.Params.CrossTraffic
+		for e.ctIdx < ct.Len() {
+			wt := e.started.Add(time.Duration(ct.TimeAt(e.ctIdx) - ct.Start))
+			if wt.After(now) {
+				break
+			}
+			drainTo(wt)
+			e.queuedB += ct.Vals[e.ctIdx]
+			if e.queuedB > float64(e.cfg.Params.BufferBytes) {
+				e.queuedB = float64(e.cfg.Params.BufferBytes)
+			}
+			e.ctIdx++
+		}
+	}
+	drainTo(now)
+}
+
+// deliverLoop releases packets at their due times. Deliveries are FIFO by
+// construction (the queue model's due times are monotone), so a single
+// ordered sleep loop suffices and cannot reorder packets.
+func (e *Emulator) deliverLoop(ctx context.Context) {
+	for d := range e.deliveries {
+		wait := time.Until(d.due)
+		if wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				// Flush remaining immediately on shutdown.
+			}
+		}
+		if _, err := e.out.Write(d.data); err == nil {
+			e.delivered.Add(1)
+		} else if !errors.Is(err, net.ErrClosed) {
+			e.dropped.Add(1)
+		}
+	}
+}
+
+// randFloat is a tiny xorshift uniform generator (the emulator must not
+// share math/rand global state with the host application).
+func (e *Emulator) randFloat() float64 {
+	x := e.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	e.rngState = x
+	return float64(x>>11) / float64(1<<53)
+}

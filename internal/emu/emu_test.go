@@ -1,0 +1,267 @@
+package emu
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ibox/internal/iboxnet"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// sink is a UDP listener recording arrival times per payload.
+type sink struct {
+	conn *net.UDPConn
+	mu   sync.Mutex
+	got  []arrival
+}
+
+type arrival struct {
+	at   time.Time
+	size int
+	tag  byte
+}
+
+func newSink(t *testing.T) *sink {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sink{conn: conn}
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			tag := byte(0)
+			if n > 0 {
+				tag = buf[0]
+			}
+			s.got = append(s.got, arrival{time.Now(), n, tag})
+			s.mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() { conn.Close() })
+	return s
+}
+
+func (s *sink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.got)
+}
+
+func (s *sink) arrivals() []arrival {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]arrival(nil), s.got...)
+}
+
+func testParams() iboxnet.Params {
+	return iboxnet.Params{
+		Bandwidth:   1_250_000, // 10 Mbps
+		PropDelay:   30 * sim.Millisecond,
+		BufferBytes: 62_500, // 50 ms of buffering
+	}
+}
+
+// startEmu launches an emulator toward the sink and returns it plus a stop
+// function.
+func startEmu(t *testing.T, cfg Config, dst *net.UDPAddr) (*Emulator, func()) {
+	t.Helper()
+	cfg.Listen = "127.0.0.1:0"
+	cfg.Forward = dst.String()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := e.Run(ctx); err != nil {
+			t.Errorf("emulator: %v", err)
+		}
+	}()
+	return e, func() {
+		cancel()
+		<-done
+	}
+}
+
+func dialTo(t *testing.T, addr *net.UDPAddr) *net.UDPConn {
+	t.Helper()
+	c, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func waitFor(t *testing.T, cond func() bool, within time.Duration) bool {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestEmulatorDeliversWithPropagationDelay(t *testing.T) {
+	s := newSink(t)
+	e, stop := startEmu(t, Config{Params: testParams()}, s.conn.LocalAddr().(*net.UDPAddr))
+	defer stop()
+	src := dialTo(t, e.Addr())
+
+	sent := time.Now()
+	if _, err := src.Write(make([]byte, 1200)); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, func() bool { return s.count() == 1 }, 2*time.Second) {
+		t.Fatalf("packet not delivered; stats %+v", e.Stats())
+	}
+	d := s.arrivals()[0].at.Sub(sent)
+	// Propagation 30 ms + ~1 ms serialization; allow generous OS jitter.
+	if d < 25*time.Millisecond || d > 300*time.Millisecond {
+		t.Errorf("one-way delay %v, want ≈31 ms", d)
+	}
+	if got := e.Stats(); got.Delivered != 1 || got.Received != 1 {
+		t.Errorf("stats %+v", got)
+	}
+}
+
+func TestEmulatorQueuesAndPreservesOrder(t *testing.T) {
+	s := newSink(t)
+	e, stop := startEmu(t, Config{Params: testParams()}, s.conn.LocalAddr().(*net.UDPAddr))
+	defer stop()
+	src := dialTo(t, e.Addr())
+
+	// Burst of 40 × 1250 B = 50 kB: fits the 62.5 kB buffer, drains at
+	// 10 Mbps over ~40 ms. Tag packets to verify FIFO.
+	const n = 40
+	for i := 0; i < n; i++ {
+		pkt := make([]byte, 1250)
+		pkt[0] = byte(i)
+		if _, err := src.Write(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitFor(t, func() bool { return s.count() == n }, 3*time.Second) {
+		t.Fatalf("delivered %d of %d; stats %+v", s.count(), n, e.Stats())
+	}
+	arr := s.arrivals()
+	for i := 1; i < n; i++ {
+		if arr[i].tag != byte(i) {
+			t.Fatalf("reordered: position %d has tag %d", i, arr[i].tag)
+		}
+	}
+	// The last packet queued behind ~49 kB ⇒ ≥ ~35 ms extra vs the first.
+	spread := arr[n-1].at.Sub(arr[0].at)
+	if spread < 20*time.Millisecond {
+		t.Errorf("burst drained in %v: queueing not emulated", spread)
+	}
+}
+
+func TestEmulatorDropsOnOverflow(t *testing.T) {
+	s := newSink(t)
+	e, stop := startEmu(t, Config{Params: testParams()}, s.conn.LocalAddr().(*net.UDPAddr))
+	defer stop()
+	src := dialTo(t, e.Addr())
+
+	// 200 × 1250 B = 250 kB into a 62.5 kB buffer, sent as fast as the OS
+	// allows: most must drop.
+	const n = 200
+	for i := 0; i < n; i++ {
+		src.Write(make([]byte, 1250))
+	}
+	waitFor(t, func() bool {
+		st := e.Stats()
+		return st.Delivered+st.Dropped >= uint64(n)*9/10
+	}, 3*time.Second)
+	st := e.Stats()
+	if st.Dropped == 0 {
+		t.Errorf("no drops on 4× overflow; stats %+v", st)
+	}
+	if st.Delivered == 0 {
+		t.Errorf("nothing delivered; stats %+v", st)
+	}
+}
+
+func TestEmulatorStatLoss(t *testing.T) {
+	p := testParams()
+	p.LossRate = 0.5
+	s := newSink(t)
+	e, stop := startEmu(t, Config{Params: p, Variant: iboxnet.StatLoss, Seed: 3},
+		s.conn.LocalAddr().(*net.UDPAddr))
+	defer stop()
+	src := dialTo(t, e.Addr())
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		src.Write(make([]byte, 200))
+		time.Sleep(time.Millisecond) // stay under the bandwidth
+	}
+	waitFor(t, func() bool {
+		st := e.Stats()
+		return st.Delivered+st.Dropped >= uint64(n)*9/10
+	}, 3*time.Second)
+	st := e.Stats()
+	frac := float64(st.Dropped) / float64(st.Dropped+st.Delivered)
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("random-loss fraction %.2f, want ≈0.5 (stats %+v)", frac, st)
+	}
+}
+
+func TestEmulatorCrossTrafficReplay(t *testing.T) {
+	// A single 50 kB cross-traffic burst at t=0.5 s takes 40 ms to drain at
+	// 10 Mbps; a probe sent just after the burst must queue behind it.
+	p := testParams()
+	ct := trace.NewSeries(0, 100*sim.Millisecond, 20)
+	ct.Vals[5] = 50_000
+	p.CrossTraffic = ct
+	s := newSink(t)
+	e, stop := startEmu(t, Config{Params: p, Variant: iboxnet.Full},
+		s.conn.LocalAddr().(*net.UDPAddr))
+	defer stop()
+	src := dialTo(t, e.Addr())
+
+	// Baseline probe before the burst: near-propagation delay.
+	sentA := time.Now()
+	src.Write(make([]byte, 200))
+	time.Sleep(510 * time.Millisecond) // burst injected at ~500 ms
+	sentB := time.Now()
+	src.Write(make([]byte, 200))
+	if !waitFor(t, func() bool { return s.count() == 2 }, 2*time.Second) {
+		t.Fatalf("probes lost; stats %+v", e.Stats())
+	}
+	arr := s.arrivals()
+	dA := arr[0].at.Sub(sentA)
+	dB := arr[1].at.Sub(sentB)
+	// Burst of 50 kB minus ~12.5 kB drained in 10 ms ⇒ ≈30 ms extra queue.
+	if dB < dA+15*time.Millisecond {
+		t.Errorf("post-burst delay %v not above pre-burst %v + queueing", dB, dA)
+	}
+}
+
+func TestEmulatorRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Params: iboxnet.Params{}}); err == nil {
+		t.Error("zero params accepted")
+	}
+	if _, err := New(Config{Params: testParams(), Listen: "nonsense::::", Forward: "127.0.0.1:9"}); err == nil {
+		t.Error("bad listen addr accepted")
+	}
+	if _, err := New(Config{Params: testParams(), Listen: "127.0.0.1:0", Forward: "nonsense::::"}); err == nil {
+		t.Error("bad forward addr accepted")
+	}
+}

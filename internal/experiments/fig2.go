@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ibox/internal/core"
+	"ibox/internal/iboxnet"
+	"ibox/internal/pantheon"
+	"ibox/internal/stats"
+)
+
+// Fig2Result reproduces Fig 2: the ensemble test on the (synthetic) India
+// Cellular corpus. The paper plots throughput vs 95th-percentile delay (a)
+// and vs packet loss (b) for Cubic GT / Cubic iBoxNet / Vegas GT / Vegas
+// iBoxNet, with per-group mean/p25/p50/p75 markers, and verifies the match
+// via a two-sample KS test.
+type Fig2Result struct {
+	Ensemble *core.EnsembleResult
+	Scale    Scale
+}
+
+// groupSummary computes the distribution markers the paper plots.
+type groupSummary struct {
+	Tput, P95, Loss stats.Summary
+}
+
+func summarizeGroup(ms []core.Metrics) groupSummary {
+	var t, p, l []float64
+	for _, m := range ms {
+		t = append(t, m.ThroughputMbps)
+		p = append(p, m.P95DelayMs)
+		l = append(l, m.LossPct)
+	}
+	return groupSummary{stats.Summarize(t), stats.Summarize(p), stats.Summarize(l)}
+}
+
+// Fig2 runs the ensemble test: a corpus of Cubic (control) traces on
+// cellular paths trains one iBoxNet per trace; Cubic and the never-seen
+// Vegas run on each model and are compared against ground truth.
+func Fig2(s Scale) (*Fig2Result, error) {
+	corpus, err := pantheon.Generate(pantheon.IndiaCellular(), s.EnsembleTraces, "cubic", s.TraceDur, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ens, err := core.EnsembleTest(corpus, "vegas", iboxnet.Full, s.TraceDur, s.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Ensemble: ens, Scale: s}, nil
+}
+
+// Groups returns the four plotted groups in the paper's order.
+func (r *Fig2Result) Groups() map[string]groupSummary {
+	return map[string]groupSummary{
+		"Cubic GT":      summarizeGroup(r.Ensemble.GTControl),
+		"Cubic iBoxNet": summarizeGroup(r.Ensemble.SimControl),
+		"Vegas GT":      summarizeGroup(r.Ensemble.GTTreatment),
+		"Vegas iBoxNet": summarizeGroup(r.Ensemble.SimTreatment),
+	}
+}
+
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 2: iBoxNet ensemble test (India Cellular synthetic), N=%d, dur=%v\n",
+		r.Scale.EnsembleTraces, r.Scale.TraceDur)
+	t := &table{header: []string{"group", "tput Mbps (mean/p25/p50/p75)", "p95 delay ms (mean/p25/p50/p75)", "loss % (mean/p25/p50/p75)"}}
+	for _, name := range []string{"Cubic GT", "Cubic iBoxNet", "Vegas GT", "Vegas iBoxNet"} {
+		g := r.Groups()[name]
+		t.add(name,
+			fmt.Sprintf("%s/%s/%s/%s", f2(g.Tput.Mean), f2(g.Tput.P25), f2(g.Tput.P50), f2(g.Tput.P75)),
+			fmt.Sprintf("%s/%s/%s/%s", f1(g.P95.Mean), f1(g.P95.P25), f1(g.P95.P50), f1(g.P95.P75)),
+			fmt.Sprintf("%s/%s/%s/%s", f2(g.Loss.Mean), f2(g.Loss.P25), f2(g.Loss.P50), f2(g.Loss.P75)))
+	}
+	b.WriteString(t.String())
+	b.WriteString("two-sample KS (sim vs GT):\n")
+	kt := &table{header: []string{"metric", "control D", "control p", "treatment D", "treatment p"}}
+	for _, m := range []string{"tput", "p95", "loss"} {
+		kc := r.Ensemble.KS["control/"+m]
+		kt2 := r.Ensemble.KS["treatment/"+m]
+		kt.add(m, f3(kc.Statistic), f3(kc.PValue), f3(kt2.Statistic), f3(kt2.PValue))
+	}
+	b.WriteString(kt.String())
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ibox/internal/core"
+	"ibox/internal/iboxnet"
+	"ibox/internal/pantheon"
+)
+
+// Fig3Result reproduces Fig 3: the same ensemble test as Fig 2 but with
+// (a) the cross-traffic input removed and (b) a simple statistical
+// packet-loss model in place of cross traffic (the calibrated-emulator
+// baseline). The paper's finding: both ablations match ground truth worse
+// than full iBoxNet, underscoring that cross traffic must be modelled, and
+// modelled with care.
+type Fig3Result struct {
+	Full     *core.EnsembleResult
+	NoCT     *core.EnsembleResult
+	StatLoss *core.EnsembleResult
+	Scale    Scale
+}
+
+// Fig3 runs the ablation comparison on one shared corpus.
+func Fig3(s Scale) (*Fig3Result, error) {
+	corpus, err := pantheon.Generate(pantheon.IndiaCellular(), s.EnsembleTraces, "cubic", s.TraceDur, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{Scale: s}
+	for _, v := range []iboxnet.Variant{iboxnet.Full, iboxnet.NoCT, iboxnet.StatLoss} {
+		ens, err := core.EnsembleTest(corpus, "vegas", v, s.TraceDur, s.Seed+100)
+		if err != nil {
+			return nil, err
+		}
+		switch v {
+		case iboxnet.Full:
+			res.Full = ens
+		case iboxnet.NoCT:
+			res.NoCT = ens
+		case iboxnet.StatLoss:
+			res.StatLoss = ens
+		}
+	}
+	return res, nil
+}
+
+// variantScore extracts the comparison metrics for one variant: the KS
+// distance of the treatment p95-delay distribution vs GT (the paper's
+// Fig 3 axis) and mean absolute errors.
+type variantScore struct {
+	KSP95, KSTput   float64
+	MAETput, MAEP95 float64
+}
+
+func scoreOf(e *core.EnsembleResult) variantScore {
+	t, p, _ := e.MeanAbsError()
+	return variantScore{
+		KSP95:   e.KS["treatment/p95"].Statistic,
+		KSTput:  e.KS["treatment/tput"].Statistic,
+		MAETput: t,
+		MAEP95:  p,
+	}
+}
+
+// Scores returns per-variant comparison scores keyed by variant name.
+func (r *Fig3Result) Scores() map[string]variantScore {
+	return map[string]variantScore{
+		"iboxnet":          scoreOf(r.Full),
+		"iboxnet-noct":     scoreOf(r.NoCT),
+		"iboxnet-statloss": scoreOf(r.StatLoss),
+	}
+}
+
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 3: cross-traffic ablations (treatment = Vegas), N=%d, dur=%v\n",
+		r.Scale.EnsembleTraces, r.Scale.TraceDur)
+	t := &table{header: []string{"variant", "KS(p95 delay)", "KS(tput)", "MAE tput Mbps", "MAE p95 ms"}}
+	for _, name := range []string{"iboxnet", "iboxnet-noct", "iboxnet-statloss"} {
+		sc := r.Scores()[name]
+		t.add(name, f3(sc.KSP95), f3(sc.KSTput), f2(sc.MAETput), f1(sc.MAEP95))
+	}
+	b.WriteString(t.String())
+	b.WriteString("(paper: both ablations yield a worse match with ground truth than full iBoxNet)\n")
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ibox/internal/core"
+	"ibox/internal/iboxml"
+	"ibox/internal/iboxnet"
+	"ibox/internal/pantheon"
+	"ibox/internal/sim"
+	"ibox/internal/stats"
+	"ibox/internal/trace"
+)
+
+// reorderPipeline holds the trace sets shared by Fig 5 and Fig 8: for each
+// test flow on the reordering cellular corpus — the ground truth, the
+// plain iBoxNet replay (structurally incapable of reordering), the
+// ML-augmented iBoxNet replays (LSTM and linear predictors), and the
+// iBoxML simulation.
+type reorderPipeline struct {
+	GT          []*trace.Trace
+	IBoxNet     []*trace.Trace
+	IBoxNetLSTM []*trace.Trace
+	IBoxNetLin  []*trace.Trace
+	IBoxML      []*trace.Trace
+	TrainCorpus *pantheon.Corpus
+	TestCorpus  *pantheon.Corpus
+}
+
+// runReorderPipeline builds the corpus (Vegas flows on reordering cellular
+// paths, as the paper trains on 100 and tests on 60 Pantheon Vegas flows),
+// trains the iBoxML delay model and both reordering predictors on the
+// training split, and produces every simulated trace set for the test
+// split.
+func runReorderPipeline(s Scale) (*reorderPipeline, error) {
+	total := s.TrainTraces + s.TestTraces
+	corpus, err := pantheon.Generate(pantheon.CellularReorder(), total, "vegas", s.TraceDur, s.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	train, test := corpus.Split(s.TrainTraces)
+	p := &reorderPipeline{TrainCorpus: train, TestCorpus: test}
+
+	// Training samples with cross-traffic estimates from §3's estimator.
+	var samples []iboxml.TrainingSample
+	for _, tr := range train.Traces {
+		var ct *trace.Series
+		if params, err := iboxnet.Estimate(tr, iboxnet.EstimatorConfig{}); err == nil {
+			ct = params.CrossTraffic
+		}
+		samples = append(samples, iboxml.TrainingSample{Trace: tr, CT: ct})
+	}
+
+	delayModel, err := iboxml.Train(samples, iboxml.Config{
+		Hidden: 16, Layers: 2, Epochs: s.MLEpochs, Seed: s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig5: train iBoxML: %w", err)
+	}
+	lstmPred, err := iboxml.TrainLSTMReorder(samples, iboxml.LSTMReorderConfig{
+		Hidden: 12, Epochs: s.MLEpochs / 2, UseCT: true, Seed: s.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig5: train LSTM reorder: %w", err)
+	}
+	linPred, err := iboxml.TrainLinearReorder(samples, true, s.Seed+2)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: train linear reorder: %w", err)
+	}
+
+	for i, gt := range test.Traces {
+		p.GT = append(p.GT, gt)
+
+		// iBoxNet: fit on the test trace, replay Vegas on the model.
+		model, err := core.Fit(gt, iboxnet.Full)
+		if err != nil {
+			return nil, fmt.Errorf("fig5: fit test trace %d: %w", i, err)
+		}
+		netTr, err := model.Run("vegas", s.TraceDur, s.Seed+int64(i)*13)
+		if err != nil {
+			return nil, err
+		}
+		p.IBoxNet = append(p.IBoxNet, netTr)
+
+		// Augmented variants graft predicted reordering onto iBoxNet output.
+		ct := model.Params.CrossTraffic
+		p.IBoxNetLSTM = append(p.IBoxNetLSTM,
+			iboxml.AugmentReordering(netTr, lstmPred, ct, s.Seed+int64(i)*17))
+		p.IBoxNetLin = append(p.IBoxNetLin,
+			iboxml.AugmentReordering(netTr, linPred, ct, s.Seed+int64(i)*19))
+
+		// iBoxML: replay the test flow's sending timeline through the delay
+		// model (the paper "tested by replaying the sending rate time series
+		// from the test set", §4.1).
+		p.IBoxML = append(p.IBoxML, delayModel.SimulateTrace(gt, ct, s.Seed+int64(i)*23))
+	}
+	return p, nil
+}
+
+// Fig5Result reproduces Fig 5: the CDF of per-1s-window reordering rates
+// on the test set, for ground truth, iBoxML, iBoxNet+LSTM and
+// iBoxNet+Linear (plain iBoxNet produces identically zero reordering).
+type Fig5Result struct {
+	Scale Scale
+	// Rates holds the pooled per-window reordering rates per curve.
+	Rates map[string][]float64
+	// Grid and CDFs give each curve evaluated on a shared grid for
+	// plotting.
+	Grid []float64
+	CDFs map[string][]float64
+}
+
+// Fig5Curves is the plotting order of the paper's legend.
+var Fig5Curves = []string{"ground-truth", "iboxml", "iboxnet+lstm", "iboxnet+linear", "iboxnet"}
+
+// Fig5 runs the reordering comparison.
+func Fig5(s Scale) (*Fig5Result, error) {
+	p, err := runReorderPipeline(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Scale: s, Rates: map[string][]float64{}, CDFs: map[string][]float64{}}
+	collect := func(name string, trs []*trace.Trace) {
+		var all []float64
+		for _, tr := range trs {
+			all = append(all, tr.ReorderingRateWindows(sim.Second)...)
+		}
+		res.Rates[name] = all
+	}
+	collect("ground-truth", p.GT)
+	collect("iboxml", p.IBoxML)
+	collect("iboxnet+lstm", p.IBoxNetLSTM)
+	collect("iboxnet+linear", p.IBoxNetLin)
+	collect("iboxnet", p.IBoxNet)
+
+	// Shared grid over [0, 0.1] as in the paper's x-axis.
+	for x := 0.0; x <= 0.1001; x += 0.005 {
+		res.Grid = append(res.Grid, x)
+	}
+	for name, rates := range res.Rates {
+		res.CDFs[name] = stats.ECDF(rates, res.Grid)
+	}
+	return res, nil
+}
+
+// KSAgainstGT reports each simulated curve's KS distance from the ground
+// truth reordering-rate distribution (smaller = better match).
+func (r *Fig5Result) KSAgainstGT() map[string]float64 {
+	out := map[string]float64{}
+	gt := r.Rates["ground-truth"]
+	for _, name := range Fig5Curves[1:] {
+		out[name] = stats.KSTest(gt, r.Rates[name]).Statistic
+	}
+	return out
+}
+
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 5: CDF of reordering rate over 1s windows (test set, Vegas), train=%d test=%d\n",
+		r.Scale.TrainTraces, r.Scale.TestTraces)
+	t := &table{header: []string{"curve", "mean rate", "p50", "p95", "frac>0", "KS vs GT"}}
+	ks := r.KSAgainstGT()
+	for _, name := range Fig5Curves {
+		rates := r.Rates[name]
+		sum := stats.Summarize(rates)
+		nz := 0
+		for _, v := range rates {
+			if v > 0 {
+				nz++
+			}
+		}
+		frac := 0.0
+		if len(rates) > 0 {
+			frac = float64(nz) / float64(len(rates))
+		}
+		ksCell := "-"
+		if name != "ground-truth" {
+			ksCell = f3(ks[name])
+		}
+		t.add(name, fmt.Sprintf("%.4f", sum.Mean), fmt.Sprintf("%.4f", sum.P50),
+			fmt.Sprintf("%.4f", sum.P95), f3(frac), ksCell)
+	}
+	b.WriteString(t.String())
+	b.WriteString("(paper: iBoxML, iBoxNet+LSTM and iBoxNet+Linear match GT; iBoxNet produces no reordering)\n")
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ibox/internal/core"
+)
+
+// This file writes each experiment's plottable series as CSV files, so the
+// harness regenerates the paper's *figures* (feed the CSVs to any plotting
+// tool), not just their summary rows.
+
+// writeCSV writes rows (first row = header) to dir/name.
+func writeCSV(dir, name string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644)
+}
+
+func fs(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WritePlots emits fig2_scatter.csv: one point per flow per group, the
+// paper's throughput-vs-p95 / throughput-vs-loss scatter.
+func (r *Fig2Result) WritePlots(dir string) error {
+	rows := [][]string{{"group", "tput_mbps", "p95_delay_ms", "loss_pct"}}
+	groups := []struct {
+		name string
+		ms   []core.Metrics
+	}{
+		{"Cubic GT", r.Ensemble.GTControl},
+		{"Cubic iBoxNet", r.Ensemble.SimControl},
+		{"Vegas GT", r.Ensemble.GTTreatment},
+		{"Vegas iBoxNet", r.Ensemble.SimTreatment},
+	}
+	for _, g := range groups {
+		for _, m := range g.ms {
+			rows = append(rows, []string{g.name, fs(m.ThroughputMbps), fs(m.P95DelayMs), fs(m.LossPct)})
+		}
+	}
+	return writeCSV(dir, "fig2_scatter.csv", rows)
+}
+
+// WritePlots emits fig4_tsne.csv: the t-SNE embedding with labels
+// (0–2 ground-truth instance k; 3–5 model instance k−3), the paper's
+// Fig 4(b) point cloud.
+func (r *Fig4Result) WritePlots(dir string) error {
+	rows := [][]string{{"x", "y", "label", "kind", "instance"}}
+	for i, p := range r.Embedding {
+		kind := "gt"
+		inst := r.Labels[i]
+		if inst >= 3 {
+			kind = "model"
+			inst -= 3
+		}
+		rows = append(rows, []string{
+			fs(p[0]), fs(p[1]), fmt.Sprintf("%d", r.Labels[i]), kind, fmt.Sprintf("%d", inst),
+		})
+	}
+	return writeCSV(dir, "fig4_tsne.csv", rows)
+}
+
+// WritePlots emits fig5_cdf.csv: reordering-rate CDFs per curve on the
+// shared grid — the paper's Fig 5.
+func (r *Fig5Result) WritePlots(dir string) error {
+	rows := [][]string{append([]string{"reordering_rate"}, Fig5Curves...)}
+	for i, x := range r.Grid {
+		row := []string{fs(x)}
+		for _, c := range Fig5Curves {
+			row = append(row, fs(r.CDFs[c][i]))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(dir, "fig5_cdf.csv", rows)
+}
+
+// WritePlots emits fig7_hist.csv: the three delay histograms of Fig 7.
+func (r *Fig7Result) WritePlots(dir string) error {
+	rows := [][]string{{"delay_ms", "ground_truth", "iboxml_no_ct", "iboxml_with_ct"}}
+	for i := range r.Bins {
+		rows = append(rows, []string{fs(r.Bins[i]), fs(r.GT[i]), fs(r.NoCT[i]), fs(r.WithCT[i])})
+	}
+	return writeCSV(dir, "fig7_hist.csv", rows)
+}
+
+// WritePlots emits fig8_patterns.csv: the Fig 8(b) frequency table.
+func (r *Fig8Result) WritePlots(dir string) error {
+	rows := [][]string{{"pattern", "ground_truth", "iboxnet", "iboxnet_ml"}}
+	for _, pat := range r.APatterns {
+		rows = append(rows, []string{
+			pat,
+			fs(r.freqOf("gt", pat)),
+			fs(r.freqOf("iboxnet", pat)),
+			fs(r.freqOf("iboxnet+ml", pat)),
+		})
+	}
+	return writeCSV(dir, "fig8_patterns.csv", rows)
+}
+
+// WritePlots emits table1.csv: per-call p95 delays under each model.
+func (r *Table1Result) WritePlots(dir string) error {
+	rows := [][]string{{"call", "gt_p95_ms", "no_ct_p95_ms", "with_ct_p95_ms"}}
+	for i := range r.GTP95 {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i), fs(r.GTP95[i]), fs(r.NoCTP95[i]), fs(r.WithCTP95[i]),
+		})
+	}
+	return writeCSV(dir, "table1_p95.csv", rows)
+}

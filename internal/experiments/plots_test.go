@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWritePlots(t *testing.T) {
+	dir := t.TempDir()
+	s := tiny()
+
+	f2, err := Fig2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.WritePlots(dir); err != nil {
+		t.Fatal(err)
+	}
+	f5, err := Fig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f5.WritePlots(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	checks := map[string][]string{
+		"fig2_scatter.csv": {"group,tput_mbps", "Vegas iBoxNet"},
+		"fig5_cdf.csv":     {"reordering_rate,ground-truth", "0.05"},
+	}
+	for name, wants := range checks {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		content := string(data)
+		lines := strings.Count(content, "\n")
+		if lines < 3 {
+			t.Errorf("%s has only %d lines", name, lines)
+		}
+		for _, w := range wants {
+			if !strings.Contains(content, w) {
+				t.Errorf("%s missing %q", name, w)
+			}
+		}
+	}
+}
+
+func TestWritePlotsFigures478(t *testing.T) {
+	dir := t.TempDir()
+	s := tiny()
+	f4, err := Fig4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f4.WritePlots(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4_tsne.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + one row per run.
+	if got := strings.Count(string(data), "\n"); got != 1+6*s.RunsPerPattern {
+		t.Errorf("fig4_tsne.csv rows = %d, want %d", got, 1+6*s.RunsPerPattern)
+	}
+	if !strings.Contains(string(data), "model") || !strings.Contains(string(data), "gt") {
+		t.Error("fig4 plot missing kind labels")
+	}
+}
+
+func TestWritePlotsFig7Table1(t *testing.T) {
+	dir := t.TempDir()
+	s := tiny()
+	s.TrainTraces = Quick().TrainTraces
+	s.TraceDur = Quick().TraceDur
+	f7, err := Fig7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f7.WritePlots(dir); err != nil {
+		t.Fatal(err)
+	}
+	t1, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.WritePlots(dir); err != nil {
+		t.Fatal(err)
+	}
+	f8, err := Fig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f8.WritePlots(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig7_hist.csv", "table1_p95.csv", "fig8_patterns.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if strings.Count(string(data), "\n") < 2 {
+			t.Errorf("%s nearly empty", name)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package iboxml
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ibox/internal/sim"
+	"ibox/internal/stats"
+)
+
+func TestHierarchicalMatchesWindowPredictions(t *testing.T) {
+	m, err := Train(trainSamples(4, 10*sim.Second), Config{Hidden: 12, Layers: 1, Epochs: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synthTrace(77, 10*sim.Second)
+	hier := m.SimulateTraceHierarchical(test, 5)
+	if err := hier.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hier.Packets) != len(test.Packets) {
+		t.Fatal("length mismatch")
+	}
+	// The hierarchical output's window-delay series must track the ground
+	// truth about as well as the full path (both are driven by the same
+	// LSTM; hierarchical just amortizes it).
+	_, gtY, _ := WindowFeatures(test, nil, m.Cfg.Window)
+	_, hierY, _ := WindowFeatures(hier, nil, m.Cfg.Window)
+	corr := stats.CrossCorrelation(hierY, gtY)
+	if corr < 0.5 {
+		t.Errorf("hierarchical/GT window-delay correlation = %.3f", corr)
+	}
+	// Mean delay in the right ballpark.
+	if math.Abs(stats.Mean(hierY)-stats.Mean(gtY)) > 0.4*stats.Mean(gtY) {
+		t.Errorf("mean delay %.1f vs GT %.1f", stats.Mean(hierY), stats.Mean(gtY))
+	}
+}
+
+func TestHierarchicalAmortizesLSTMCost(t *testing.T) {
+	// §4.2's budget arithmetic: one LSTM step per 100 ms group instead of
+	// per packet must cut per-packet cost by roughly the packets-per-group
+	// factor. With 1500-byte packets every 1 ms (12 Mbps), that is ~100×;
+	// demand at least 10× to stay robust on noisy CI machines.
+	m, err := Train(trainSamples(1, 4*sim.Second), Config{Hidden: 64, Layers: 4, Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	// Per-packet (the slow path of the Speed experiment).
+	perPacket := m.PredictPacketDelay()
+	feat := []float64{15000, 1.0, 1500, 30}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		perPacket(feat)
+	}
+	slow := time.Since(start)
+
+	h := m.NewHierarchical(2)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		h.PacketDelay(sim.Time(i)*sim.Millisecond, 1500)
+	}
+	fast := time.Since(start)
+
+	speedup := float64(slow) / float64(fast)
+	t.Logf("per-packet %v vs hierarchical %v for %d packets: %.0f× speedup", slow, fast, n, speedup)
+	if speedup < 10 {
+		t.Errorf("hierarchical speedup %.1f×, want ≥ 10×", speedup)
+	}
+}
+
+func TestHierarchicalDeterministic(t *testing.T) {
+	m, err := Train(trainSamples(1, 3*sim.Second), Config{Hidden: 4, Layers: 1, Epochs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synthTrace(50, 3*sim.Second)
+	a := m.SimulateTraceHierarchical(test, 9)
+	b := m.SimulateTraceHierarchical(test, 9)
+	for i := range a.Packets {
+		if a.Packets[i].RecvTime != b.Packets[i].RecvTime {
+			t.Fatal("hierarchical simulation not deterministic")
+		}
+	}
+}
+
+func TestHierarchicalPanicsUntrained(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("untrained model did not panic")
+		}
+	}()
+	(&Model{}).NewHierarchical(0)
+}

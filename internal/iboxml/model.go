@@ -1,0 +1,384 @@
+package iboxml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ibox/internal/nn"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// Config parameterizes the iBoxML delay model. Zero values select small
+// CPU-friendly defaults (the paper used a 4-layer ≈2M-parameter LSTM on a
+// V100; this reproduction trains pure-Go on CPU, so the defaults are
+// modest — the architecture, loss and inference procedure are identical).
+type Config struct {
+	Hidden int      // LSTM hidden size; default 24
+	Layers int      // LSTM layers; default 2
+	Window sim.Time // feature window; default 100 ms
+	// UseCrossTraffic appends the domain-knowledge cross-traffic estimate
+	// (§3) as an input feature — the §5.2 melding that mitigates
+	// control-loop bias.
+	UseCrossTraffic bool
+	Epochs          int     // training passes over the corpus; default 30
+	LR              float64 // Adam learning rate; default 0.005
+	// PrevDelayNoise perturbs the teacher-forced d_{t−1} feature during
+	// training by Gaussian noise of this many target standard deviations.
+	// Without it the model learns the shortcut d_t ≈ d_{t−1} and collapses
+	// toward a fixed point when unrolled closed-loop (the exposure-bias
+	// face of §4.2's control-loop problem). Default 0.3; negative disables.
+	PrevDelayNoise float64
+	Seed           int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden <= 0 {
+		c.Hidden = 24
+	}
+	if c.Layers <= 0 {
+		c.Layers = 2
+	}
+	if c.Window <= 0 {
+		c.Window = 100 * sim.Millisecond
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.LR <= 0 {
+		c.LR = 0.005
+	}
+	if c.PrevDelayNoise == 0 {
+		c.PrevDelayNoise = 0.3
+	}
+	if c.PrevDelayNoise < 0 {
+		c.PrevDelayNoise = 0
+	}
+	return c
+}
+
+// Model is a trained iBoxML delay model.
+type Model struct {
+	Cfg     Config
+	Net     *nn.SequenceModel
+	xScale  scaler
+	yMean   float64
+	yStd    float64
+	trained bool
+	// outlierRate is the fraction of packets in the training traces that
+	// arrived out of order — early arrivals whose delay dropped below the
+	// neighbourhood's (e.g. a multipath shortcut). SimulateTrace samples
+	// this fraction of packets from a low-delay outlier component; the
+	// paper's per-packet LSTM absorbs the same information from the delay
+	// stream itself ("the model was trained only to match delays and no
+	// explicit knowledge of reordering was provided").
+	outlierRate float64
+	// minDelayMs is the training corpus' 5th-percentile window delay — the
+	// near-propagation floor that outlier (queue-skipping) packets see.
+	minDelayMs float64
+	// env is the training feature envelope backing the §6 model-validity
+	// analysis (see Validity).
+	env envelope
+}
+
+// TrainingSample pairs a trace with its (optional) cross-traffic estimate.
+type TrainingSample struct {
+	Trace *trace.Trace
+	CT    *trace.Series // used only when Config.UseCrossTraffic
+}
+
+// Train fits an iBoxML model on the given traces. When cfg.UseCrossTraffic
+// is set, each sample's CT series is appended as an input feature (samples
+// with a nil CT use zeros).
+func Train(samples []TrainingSample, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("iboxml: no training samples")
+	}
+	dim := 4
+	if cfg.UseCrossTraffic {
+		dim = 5
+	}
+
+	type seq struct {
+		xs   [][]float64
+		ys   []float64
+		mask []bool
+	}
+	var seqs []seq
+	var allX [][]float64
+	var allY []float64
+	for _, s := range samples {
+		ct := s.CT
+		if !cfg.UseCrossTraffic {
+			ct = nil
+		}
+		xs, ys, mask := WindowFeatures(s.Trace, ct, cfg.Window)
+		if len(xs) == 0 {
+			continue
+		}
+		if cfg.UseCrossTraffic && s.CT == nil {
+			// WindowFeatures returned 4-dim rows; widen with a zero column.
+			for i := range xs {
+				xs[i] = append(xs[i], 0)
+			}
+		}
+		seqs = append(seqs, seq{xs, ys, mask})
+		allX = append(allX, xs...)
+		for i, m := range mask {
+			if m {
+				allY = append(allY, ys[i])
+			}
+		}
+	}
+	if len(seqs) == 0 || len(allY) == 0 {
+		return nil, fmt.Errorf("iboxml: training data contains no delivered packets")
+	}
+
+	m := &Model{Cfg: cfg}
+	m.xScale = fitScaler(allX)
+	m.env = fitEnvelope(allX)
+	m.yMean = mean(allY)
+	m.yStd = std(allY, m.yMean)
+	if m.yStd == 0 {
+		m.yStd = 1
+	}
+	// Delay-structure statistics for per-packet sampling (SimulateTrace).
+	reordered, delivered := 0, 0
+	for _, s := range samples {
+		flags := s.Trace.ReorderedFlags()
+		for _, f := range flags {
+			if f {
+				reordered++
+			}
+		}
+		delivered += len(flags)
+	}
+	if delivered > 0 {
+		m.outlierRate = float64(reordered) / float64(delivered)
+	}
+	sortedY := append([]float64(nil), allY...)
+	sortFloats(sortedY)
+	m.minDelayMs = sortedY[len(sortedY)/20]
+	m.Net = nn.NewSequenceModel(nn.GaussianHead, dim, cfg.Hidden, cfg.Layers, cfg.Seed)
+	opt := nn.NewAdam(cfg.LR, m.Net.Params())
+
+	noiseRng := sim.NewRand(cfg.Seed, 313)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, s := range seqs {
+			xs := make([][]float64, len(s.xs))
+			ys := make([]float64, len(s.ys))
+			for t := range s.xs {
+				xs[t] = m.xScale.apply(s.xs[t])
+				ys[t] = (s.ys[t] - m.yMean) / m.yStd
+				if cfg.PrevDelayNoise > 0 {
+					// Perturb the (standardized) teacher-forced d_{t−1} so
+					// the model cannot rely on it exclusively.
+					xs[t][3] += cfg.PrevDelayNoise * noiseRng.NormFloat64()
+				}
+			}
+			loss := m.Net.TrainSequence(xs, ys, s.mask)
+			if math.IsNaN(loss) {
+				continue
+			}
+			opt.Step()
+		}
+	}
+	m.trained = true
+	return m, nil
+}
+
+// NumParams reports the scalar parameter count of the underlying network.
+func (m *Model) NumParams() int { return m.Net.NumParams() }
+
+// PredictWindows replays a test trace's sending-rate timeline through the
+// model closed-loop (§4.1: "we feed the predicted delays as we unroll the
+// LSTM network over time") and returns the predicted per-window delay
+// means and standard deviations in milliseconds. ct may be nil.
+func (m *Model) PredictWindows(tr *trace.Trace, ct *trace.Series) (mu, sigma []float64) {
+	if !m.trained {
+		panic("iboxml: model not trained")
+	}
+	useCT := m.Cfg.UseCrossTraffic
+	var ctArg *trace.Series
+	if useCT {
+		ctArg = ct
+	}
+	xs, _, _ := WindowFeatures(tr, ctArg, m.Cfg.Window)
+	if useCT && ctArg == nil {
+		for i := range xs {
+			xs[i] = append(xs[i], 0)
+		}
+	}
+	pred := m.Net.NewPredictor()
+	mu = make([]float64, len(xs))
+	sigma = make([]float64, len(xs))
+	prevDelay := 0.0
+	first := true
+	for t := range xs {
+		// Closed loop: overwrite the teacher-forced d_{t−1} feature with
+		// the model's own previous prediction.
+		if !first {
+			xs[t][3] = prevDelay
+		}
+		out := pred.StepGaussian(m.xScale.apply(xs[t]))
+		mu[t] = out.Mu*m.yStd + m.yMean
+		sigma[t] = out.Sigma * m.yStd
+		if mu[t] < 0 {
+			mu[t] = 0
+		}
+		prevDelay = mu[t]
+		if first {
+			// The t=0 feature used the teacher value; subsequent steps are
+			// fully closed-loop.
+			first = false
+		}
+	}
+	return mu, sigma
+}
+
+// SimulateTrace produces a full predicted output trace for the given input
+// (send-side) timeline, turning the per-window closed-loop delay
+// distributions into per-packet delays with realistic temporal structure:
+//
+//   - a smooth component — the window mean plus an AR(1) (Ornstein–
+//     Uhlenbeck) deviation with a multi-window correlation time, because a
+//     queue's delay evolves smoothly and i.i.d. per-packet sampling would
+//     invert nearly half of all packet pairs;
+//   - an outlier component — with the training corpus' observed early-
+//     arrival rate, a packet's delay collapses toward the near-propagation
+//     floor, recreating queue-skipping (multipath) arrivals. This is how
+//     reordering emerges from a model "trained only to match delays"
+//     (Fig 5).
+//
+// Lost packets in the input are echoed as lost.
+func (m *Model) SimulateTrace(tr *trace.Trace, ct *trace.Series, seed int64) *trace.Trace {
+	mu, sigma := m.PredictWindows(tr, ct)
+	rng := sim.NewRand(seed, 71)
+	out := &trace.Trace{Protocol: tr.Protocol + "-iboxml", PathID: tr.PathID}
+	if len(tr.Packets) == 0 {
+		return out
+	}
+	// jitterFrac scales the predicted window sigma down to a per-packet
+	// jitter magnitude. The amplitude is additionally capped at a few send
+	// gaps: a FIFO queue's jitter cannot reorder packets, so the smooth
+	// component must (almost) never invert arrivals — reordering is the
+	// outlier component's job.
+	const jitterFrac = 0.15
+	start := tr.Packets[0].SendTime
+	meanGapMs := tr.Duration().Millis() / float64(len(tr.Packets))
+	tau := 3 * m.Cfg.Window.Seconds() // OU correlation time, seconds
+	z := 0.0                          // standardized smooth-deviation state
+	var lastSend sim.Time = -1
+	for _, p := range tr.Packets {
+		w := int((p.SendTime - start) / m.Cfg.Window)
+		if w < 0 {
+			w = 0
+		}
+		if w >= len(mu) {
+			w = len(mu) - 1
+		}
+		q := p
+		if !p.Lost {
+			dt := 0.0
+			if lastSend >= 0 {
+				dt = (p.SendTime - lastSend).Seconds()
+			}
+			lastSend = p.SendTime
+			rho := math.Exp(-dt / tau)
+			z = rho*z + math.Sqrt(1-rho*rho)*rng.NormFloat64()
+			var d float64
+			if rng.Float64() < m.outlierRate {
+				// Queue-skipping outlier: near the propagation floor.
+				d = m.minDelayMs * (1 + 0.1*math.Abs(rng.NormFloat64()))
+			} else {
+				// The head's sigma is the *window-aggregate* uncertainty;
+				// per-packet jitter around the smooth queue trajectory is a
+				// small fraction of it, capped at a few send gaps.
+				amp := jitterFrac * sigma[w]
+				if cap := 3 * meanGapMs; amp > cap {
+					amp = cap
+				}
+				d = mu[w] + amp*z
+			}
+			if d < 0.1 {
+				d = 0.1
+			}
+			q.RecvTime = p.SendTime + sim.Time(d*float64(sim.Millisecond))
+		}
+		out.Packets = append(out.Packets, q)
+	}
+	return out
+}
+
+// PredictWindowsOpenLoop predicts per-window delays with the true previous
+// delay (teacher forcing) rather than the model's own feedback. It
+// measures one-step-ahead accuracy, isolating model quality from the
+// closed-loop compounding of §4.1's unrolling; the trace must contain
+// receive timestamps.
+func (m *Model) PredictWindowsOpenLoop(tr *trace.Trace, ct *trace.Series) (mu, sigma []float64) {
+	if !m.trained {
+		panic("iboxml: model not trained")
+	}
+	var ctArg *trace.Series
+	if m.Cfg.UseCrossTraffic {
+		ctArg = ct
+	}
+	xs, _, _ := WindowFeatures(tr, ctArg, m.Cfg.Window)
+	if m.Cfg.UseCrossTraffic && ctArg == nil {
+		for i := range xs {
+			xs[i] = append(xs[i], 0)
+		}
+	}
+	pred := m.Net.NewPredictor()
+	mu = make([]float64, len(xs))
+	sigma = make([]float64, len(xs))
+	for t := range xs {
+		out := pred.StepGaussian(m.xScale.apply(xs[t]))
+		mu[t] = out.Mu*m.yStd + m.yMean
+		sigma[t] = out.Sigma * m.yStd
+		if mu[t] < 0 {
+			mu[t] = 0
+		}
+	}
+	return mu, sigma
+}
+
+// PredictPacketDelay is the per-packet inference mode used by the §4.2
+// speed analysis: one LSTM step per packet. The returned function advances
+// the model one packet at a time and reports the predicted delay (ms).
+func (m *Model) PredictPacketDelay() func(features []float64) float64 {
+	pred := m.Net.NewPredictor()
+	dim := 4
+	if m.Cfg.UseCrossTraffic {
+		dim = 5
+	}
+	buf := make([]float64, dim)
+	return func(features []float64) float64 {
+		copy(buf, features)
+		out := pred.StepGaussian(m.xScale.apply(buf))
+		return out.Mu*m.yStd + m.yMean
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func std(xs []float64, m float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+func sortFloats(xs []float64) {
+	sort.Float64s(xs)
+}

@@ -1,0 +1,99 @@
+package iboxml
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/sim"
+	"ibox/internal/stats"
+)
+
+func TestPacketXYFeatures(t *testing.T) {
+	tr := synthTrace(1, 3*sim.Second)
+	xs, ys, mask := packetXY(tr, nil)
+	if len(xs) != len(tr.Packets) || len(ys) != len(xs) || len(mask) != len(xs) {
+		t.Fatalf("shapes: %d/%d/%d vs %d packets", len(xs), len(ys), len(mask), len(tr.Packets))
+	}
+	if len(xs[0]) != 4 {
+		t.Fatalf("dim %d, want 4", len(xs[0]))
+	}
+	// Teacher forcing: packet i's prev-delay feature equals packet i−1's
+	// observed delay.
+	for i := 1; i < 20; i++ {
+		if xs[i][3] != ys[i-1] {
+			t.Fatalf("packet %d prev-delay %v != %v", i, xs[i][3], ys[i-1])
+		}
+	}
+}
+
+func TestTrainPacketLearnsDelays(t *testing.T) {
+	// Shorter traces than the window model needs: per-packet sequences are
+	// dense.
+	m, err := TrainPacket(trainSamples(3, 5*sim.Second), Config{
+		Hidden: 12, Layers: 1, Epochs: 8, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synthTrace(88, 5*sim.Second)
+	mu, sigma := m.PredictPackets(test, nil)
+	if len(mu) != len(test.Packets) {
+		t.Fatalf("prediction length %d", len(mu))
+	}
+	var truth []float64
+	for _, p := range test.Packets {
+		truth = append(truth, p.Delay().Millis())
+	}
+	corr := stats.CrossCorrelation(mu, truth)
+	if corr < 0.6 {
+		t.Errorf("per-packet prediction corr %.3f, want ≥ 0.6", corr)
+	}
+	if math.Abs(stats.Mean(mu)-stats.Mean(truth)) > 0.35*stats.Mean(truth) {
+		t.Errorf("mean %.1f vs truth %.1f", stats.Mean(mu), stats.Mean(truth))
+	}
+	for _, s := range sigma {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatal("bad sigma")
+		}
+	}
+}
+
+func TestPacketModelSimulateTrace(t *testing.T) {
+	m, err := TrainPacket(trainSamples(2, 4*sim.Second), Config{
+		Hidden: 8, Layers: 1, Epochs: 4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := synthTrace(51, 4*sim.Second)
+	in.Packets[5].Lost = true
+	out := m.SimulateTrace(in, nil, 3)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Packets[5].Lost {
+		t.Error("lost packet not echoed")
+	}
+	// Determinism.
+	out2 := m.SimulateTrace(in, nil, 3)
+	for i := range out.Packets {
+		if out.Packets[i].RecvTime != out2.Packets[i].RecvTime {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestTrainPacketRejectsEmpty(t *testing.T) {
+	if _, err := TrainPacket(nil, Config{}); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestPacketPredictPanicsUntrained(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	(&PacketModel{}).PredictPackets(synthTrace(1, sim.Second), nil)
+}

@@ -1,0 +1,83 @@
+package iboxml
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"ibox/internal/nn"
+)
+
+// modelJSON is the on-disk form of a trained Model.
+type modelJSON struct {
+	Cfg         Config            `json:"config"`
+	Net         *nn.SequenceModel `json:"net"`
+	XMean       []float64         `json:"x_mean"`
+	XStd        []float64         `json:"x_std"`
+	YMean       float64           `json:"y_mean"`
+	YStd        float64           `json:"y_std"`
+	OutlierRate float64           `json:"outlier_rate"`
+	MinDelayMs  float64           `json:"min_delay_ms"`
+	Envelope    envelope          `json:"envelope"`
+}
+
+// Write serializes the trained model as JSON.
+func (m *Model) Write(w io.Writer) error {
+	if !m.trained {
+		return fmt.Errorf("iboxml: cannot serialize an untrained model")
+	}
+	return json.NewEncoder(w).Encode(modelJSON{
+		Cfg: m.Cfg, Net: m.Net,
+		XMean: m.xScale.Mean, XStd: m.xScale.Std,
+		YMean: m.yMean, YStd: m.yStd,
+		OutlierRate: m.outlierRate, MinDelayMs: m.minDelayMs,
+		Envelope: m.env,
+	})
+}
+
+// Read restores a model serialized by Write.
+func Read(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("iboxml: decode model: %w", err)
+	}
+	if in.Net == nil {
+		return nil, fmt.Errorf("iboxml: serialized model has no network")
+	}
+	return &Model{
+		Cfg: in.Cfg, Net: in.Net,
+		xScale:      scaler{Mean: in.XMean, Std: in.XStd},
+		yMean:       in.YMean,
+		yStd:        in.YStd,
+		outlierRate: in.OutlierRate,
+		minDelayMs:  in.MinDelayMs,
+		env:         in.Envelope,
+		trained:     true,
+	}, nil
+}
+
+// Save writes the model to a file.
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := m.Write(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Load reads a model from a file.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

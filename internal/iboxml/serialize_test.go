@@ -1,0 +1,76 @@
+package iboxml
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	m, err := Train(trainSamples(2, 5*sim.Second), Config{Hidden: 8, Layers: 2, Epochs: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must be identical.
+	test := synthTrace(200, 5*sim.Second)
+	mu1, s1 := m.PredictWindows(test, nil)
+	mu2, s2 := got.PredictWindows(test, nil)
+	for i := range mu1 {
+		if mu1[i] != mu2[i] || s1[i] != s2[i] {
+			t.Fatalf("prediction mismatch at window %d: %v vs %v", i, mu1[i], mu2[i])
+		}
+	}
+	// SimulateTrace (uses outlierRate/minDelayMs) must match too.
+	a := m.SimulateTrace(test, nil, 5)
+	b := got.SimulateTrace(test, nil, 5)
+	for i := range a.Packets {
+		if a.Packets[i].RecvTime != b.Packets[i].RecvTime {
+			t.Fatalf("simulate mismatch at packet %d", i)
+		}
+	}
+}
+
+func TestModelSaveLoadFile(t *testing.T) {
+	m, err := Train(trainSamples(1, 4*sim.Second), Config{Hidden: 4, Layers: 1, Epochs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumParams() != m.NumParams() {
+		t.Errorf("params %d vs %d", got.NumParams(), m.NumParams())
+	}
+}
+
+func TestSerializeUntrainedFails(t *testing.T) {
+	m := &Model{}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err == nil {
+		t.Error("untrained model serialized")
+	}
+}
+
+func TestReadGarbageFails(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewBufferString("{}")); err == nil {
+		t.Error("empty model accepted")
+	}
+}

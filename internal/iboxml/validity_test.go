@@ -1,0 +1,102 @@
+package iboxml
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+func TestValidityInDistribution(t *testing.T) {
+	m, err := Train(trainSamples(4, 8*sim.Second), Config{Hidden: 8, Layers: 1, Epochs: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A held-out trace from the same generator: should be almost entirely
+	// inside the envelope.
+	test := synthTrace(200, 8*sim.Second)
+	rep := m.Validity(test, nil)
+	if rep.Windows == 0 {
+		t.Fatal("no windows examined")
+	}
+	if rep.WorstFraction > 0.1 {
+		t.Errorf("in-distribution input flagged: %s", rep)
+	}
+	if !rep.Valid(0.1) {
+		t.Errorf("Valid(0.1) = false for in-distribution input")
+	}
+}
+
+func TestValidityDetectsRateExcursion(t *testing.T) {
+	// §6's example verbatim: train at ≤2 Mbps, test at 20 Mbps — the
+	// send-rate feature must be flagged as out of the validity region.
+	m, err := Train(trainSamples(4, 8*sim.Second), Config{Hidden: 8, Layers: 1, Epochs: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := &trace.Trace{Protocol: "fast-cbr"}
+	for i := 0; i < 5000; i++ {
+		send := sim.Time(i) * 600 * sim.Microsecond // 1500B/0.6ms = 20 Mbps
+		fast.Packets = append(fast.Packets, trace.Packet{
+			Seq: int64(i), Size: 1500, SendTime: send, RecvTime: send + 40*sim.Millisecond,
+		})
+	}
+	rep := m.Validity(fast, nil)
+	if rep.OutOfRange["send-rate"] < 0.8 {
+		t.Errorf("20 Mbps test vs ≤2 Mbps training not flagged: %s", rep)
+	}
+	if rep.WorstFeature != "send-rate" {
+		t.Errorf("worst feature = %q, want send-rate", rep.WorstFeature)
+	}
+	if rep.Valid(0.1) {
+		t.Error("Valid(0.1) = true for a gross excursion")
+	}
+}
+
+func TestValiditySurvivesSerialization(t *testing.T) {
+	m, err := Train(trainSamples(2, 5*sim.Second), Config{Hidden: 4, Layers: 1, Epochs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.json"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synthTrace(300, 5*sim.Second)
+	a := m.Validity(test, nil)
+	b := got.Validity(test, nil)
+	if a.WorstFraction != b.WorstFraction || a.Windows != b.Windows {
+		t.Errorf("validity changed across serialization: %v vs %v", a, b)
+	}
+}
+
+func TestValidityStringAndEmptyEnvelope(t *testing.T) {
+	rep := ValidityReport{Windows: 10, OutOfRange: map[string]float64{"send-rate": 0.5}}
+	if s := rep.String(); !containsAll(s, "10", "send-rate", "50.0%") {
+		t.Errorf("String() = %q", s)
+	}
+	if math.IsNaN(rep.WorstFraction) {
+		t.Error("NaN worst fraction")
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

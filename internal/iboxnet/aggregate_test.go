@@ -1,0 +1,142 @@
+package iboxnet
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/cc"
+	"ibox/internal/netsim"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// TestAggregationImprovesBandwidthEstimate reproduces §6's mitigation: one
+// rate-capped flow alone cannot saturate the bottleneck, so its bandwidth
+// estimate is badly biased low; merging several concurrent capped flows
+// (whose sum does saturate) recovers the true rate.
+func TestAggregationImprovesBandwidthEstimate(t *testing.T) {
+	cfg := netsim.Config{
+		Rate: 1_250_000, BufferBytes: 187_500, PropDelay: 30 * sim.Millisecond, Seed: 8,
+	}
+	sched := sim.NewScheduler()
+	path := netsim.New(sched, cfg)
+	// Four concurrent CBR flows at 3 Mbps each: individually 30% of the
+	// link; together 120% — enough to saturate (and queue).
+	var flows []*cc.Flow
+	for i := 0; i < 4; i++ {
+		f := cc.NewFlow(sched, path.Port(string(rune('a'+i))), cc.NewCBR(375_000), cc.FlowConfig{
+			Duration: 15 * sim.Second, AckDelay: cfg.PropDelay,
+		})
+		f.Start()
+		flows = append(flows, f)
+	}
+	sched.RunUntil(20 * sim.Second)
+
+	soloParams, err := Estimate(flows[0].Trace(), EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trs []*trace.Trace
+	for _, f := range flows {
+		trs = append(trs, f.Trace())
+	}
+	merged, err := trace.Merge(trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggParams, err := Estimate(merged, EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloErr := math.Abs(soloParams.Bandwidth-cfg.Rate) / cfg.Rate
+	aggErr := math.Abs(aggParams.Bandwidth-cfg.Rate) / cfg.Rate
+	t.Logf("bandwidth: true=%.0f solo=%.0f (err %.0f%%) aggregated=%.0f (err %.0f%%)",
+		cfg.Rate, soloParams.Bandwidth, soloErr*100, aggParams.Bandwidth, aggErr*100)
+	// The solo capped flow must be badly biased; aggregation must fix it.
+	if soloErr < 0.3 {
+		t.Fatalf("solo estimate unexpectedly good (%.0f%% err): test premise broken", soloErr*100)
+	}
+	if aggErr > 0.15 {
+		t.Errorf("aggregated bandwidth error %.0f%%, want ≤ 15%%", aggErr*100)
+	}
+	if aggErr >= soloErr {
+		t.Errorf("aggregation did not improve: solo %.0f%% vs agg %.0f%%", soloErr*100, aggErr*100)
+	}
+}
+
+// TestAggregationImprovesPropagationEstimate: a single heavily-queueing
+// flow may never see an empty queue, biasing d̂ high; adding a sparse
+// late-starting probe flow whose first packets meet a drained queue fixes
+// it. (Build the queue with open-loop overload, then probe during a lull.)
+func TestAggregationImprovesPropagationEstimate(t *testing.T) {
+	cfg := netsim.Config{
+		Rate: 1_250_000, BufferBytes: 250_000, PropDelay: 30 * sim.Millisecond, Seed: 9,
+	}
+	sched := sim.NewScheduler()
+	path := netsim.New(sched, cfg)
+	// Heavy CT keeps the queue deep during [0, 12 s); nothing afterwards.
+	// The observed flow starts at 2 s, once the queue is already standing,
+	// so none of its packets ever meets an empty queue.
+	path.AddCrossTraffic(netsim.ConstantBitRate{Rate: 1_300_000, From: 0, To: 12 * sim.Second})
+	busy := cc.NewFlow(sched, path.Port("busy"), cc.NewCBR(400_000), cc.FlowConfig{
+		Start: 2 * sim.Second, Duration: 10 * sim.Second, AckDelay: cfg.PropDelay,
+	})
+	busy.Start()
+	// Probe flow runs after the storm, seeing the empty queue.
+	probe := cc.NewFlow(sched, path.Port("probe"), cc.NewCBR(100_000), cc.FlowConfig{
+		Start: 13 * sim.Second, Duration: 2 * sim.Second, AckDelay: cfg.PropDelay,
+	})
+	probe.Start()
+	sched.RunUntil(20 * sim.Second)
+
+	soloParams, err := Estimate(busy.Trace(), EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := trace.Merge([]*trace.Trace{busy.Trace(), probe.Trace()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggParams, err := Estimate(merged, EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueD := cfg.PropDelay
+	soloErr := soloParams.PropDelay - trueD
+	aggErr := aggParams.PropDelay - trueD
+	t.Logf("prop delay: true=%v solo=%v agg=%v", trueD, soloParams.PropDelay, aggParams.PropDelay)
+	if soloErr < 20*sim.Millisecond {
+		t.Fatalf("solo estimate unexpectedly good (+%v): test premise broken", soloErr)
+	}
+	if aggErr > 5*sim.Millisecond {
+		t.Errorf("aggregated propagation estimate off by %v, want ≤ 5 ms", aggErr)
+	}
+}
+
+func TestMergeBasics(t *testing.T) {
+	a := &trace.Trace{Protocol: "cbr", PathID: "p"}
+	b := &trace.Trace{Protocol: "cbr"}
+	for i := 0; i < 5; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		a.Packets = append(a.Packets, trace.Packet{Seq: int64(i), Size: 100, SendTime: at, RecvTime: at + sim.Millisecond})
+		b.Packets = append(b.Packets, trace.Packet{Seq: int64(i), Size: 100, SendTime: at + 5*sim.Millisecond, RecvTime: at + 6*sim.Millisecond})
+	}
+	m, err := trace.Merge([]*trace.Trace{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Packets) != 10 {
+		t.Fatalf("merged %d packets", len(m.Packets))
+	}
+	for i := 1; i < len(m.Packets); i++ {
+		if m.Packets[i].SendTime < m.Packets[i-1].SendTime {
+			t.Fatal("not time-sorted")
+		}
+		if m.Packets[i].Seq != int64(i) {
+			t.Fatal("seqs not reassigned")
+		}
+	}
+	if _, err := trace.Merge(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+}

@@ -1,0 +1,229 @@
+package iboxnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ibox/internal/cc"
+	"ibox/internal/netsim"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// genTrace runs a sender over a known netsim path and returns its trace.
+func genTrace(sender cc.Sender, cfg netsim.Config, ct netsim.CrossTraffic, dur sim.Time) *trace.Trace {
+	sched := sim.NewScheduler()
+	path := netsim.New(sched, cfg)
+	if ct != nil {
+		path.AddCrossTraffic(ct)
+	}
+	flow := cc.NewFlow(sched, path.Port("main"), sender, cc.FlowConfig{
+		Duration: dur, AckDelay: cfg.PropDelay,
+	})
+	flow.Start()
+	sched.RunUntil(dur + 3*sim.Second)
+	return flow.Trace()
+}
+
+func knownPath() netsim.Config {
+	return netsim.Config{
+		Rate:        1_250_000, // 10 Mbps
+		BufferBytes: 125_000,   // 100 ms
+		PropDelay:   20 * sim.Millisecond,
+		Seed:        11,
+	}
+}
+
+func TestEstimateStaticParams(t *testing.T) {
+	cfg := knownPath()
+	tr := genTrace(cc.NewCubic(), cfg, nil, 20*sim.Second)
+	p, err := Estimate(tr, EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidth within 10% of truth (Cubic saturates the link).
+	if math.Abs(p.Bandwidth-cfg.Rate)/cfg.Rate > 0.10 {
+		t.Errorf("bandwidth = %.0f B/s, want ≈%.0f", p.Bandwidth, cfg.Rate)
+	}
+	// Propagation delay: min delay includes one serialization (1.2 ms).
+	wantD := cfg.PropDelay + 1200*sim.Microsecond
+	if p.PropDelay < cfg.PropDelay || p.PropDelay > wantD+3*sim.Millisecond {
+		t.Errorf("prop delay = %v, want ≈%v", p.PropDelay, wantD)
+	}
+	// Buffer within 30% (Cubic fills the buffer before its drops).
+	if math.Abs(float64(p.BufferBytes-cfg.BufferBytes))/float64(cfg.BufferBytes) > 0.3 {
+		t.Errorf("buffer = %d B, want ≈%d", p.BufferBytes, cfg.BufferBytes)
+	}
+	if p.LossRate <= 0 || p.LossRate > 0.2 {
+		t.Errorf("loss rate = %v, want small positive", p.LossRate)
+	}
+	if !strings.Contains(p.String(), "Mbps") {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestEstimateCrossTrafficTiming(t *testing.T) {
+	// Cross traffic at 5 Mbps during [5s, 10s) of a 20s Cubic flow. The
+	// estimate must place most cross-traffic mass inside the burst window.
+	cfg := knownPath()
+	ct := netsim.ConstantBitRate{Rate: 625_000, From: 5 * sim.Second, To: 10 * sim.Second}
+	tr := genTrace(cc.NewCubic(), cfg, ct, 20*sim.Second)
+	p, err := Estimate(tr, EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrossTraffic == nil {
+		t.Fatal("no cross-traffic series")
+	}
+	var inBurst, outBurst float64
+	for i, v := range p.CrossTraffic.Vals {
+		at := p.CrossTraffic.TimeAt(i)
+		if at >= 5*sim.Second && at < 10*sim.Second {
+			inBurst += v
+		} else {
+			outBurst += v
+		}
+	}
+	total := inBurst + outBurst
+	if total == 0 {
+		t.Fatal("estimator found no cross traffic at all")
+	}
+	if inBurst/total < 0.6 {
+		t.Errorf("only %.0f%% of estimated CT inside the true burst window", 100*inBurst/total)
+	}
+	// Conservative lower bound: total estimated CT must not wildly exceed
+	// the true 5 Mbps × 5 s = 3.125 MB.
+	trueBytes := 625_000.0 * 5
+	if total > 1.5*trueBytes {
+		t.Errorf("estimated CT %.0f B overshoots truth %.0f B", total, trueBytes)
+	}
+	if inBurst < 0.2*trueBytes {
+		t.Errorf("estimated CT %.0f B far below truth %.0f B in burst", inBurst, trueBytes)
+	}
+}
+
+func TestEstimateNoCrossTrafficIsQuiet(t *testing.T) {
+	// Without cross traffic, the estimator should attribute little: the
+	// queue dynamics are fully explained by the sender's own inflow.
+	cfg := knownPath()
+	tr := genTrace(cc.NewCubic(), cfg, nil, 20*sim.Second)
+	p, err := Estimate(tr, EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalCT := 0.0
+	for _, v := range p.CrossTraffic.Vals {
+		totalCT += v
+	}
+	sentBytes := float64(len(tr.Packets) * 1500)
+	if totalCT > 0.15*sentBytes {
+		t.Errorf("phantom cross traffic: %.0f B vs %.0f B sent", totalCT, sentBytes)
+	}
+}
+
+func TestEstimateRejectsBadTraces(t *testing.T) {
+	if _, err := Estimate(&trace.Trace{}, EstimatorConfig{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	short := &trace.Trace{}
+	for i := 0; i < 5; i++ {
+		short.Packets = append(short.Packets, trace.Packet{
+			Seq: int64(i), Size: 100, SendTime: sim.Time(i), RecvTime: sim.Time(i) + 1,
+		})
+	}
+	if _, err := Estimate(short, EstimatorConfig{}); err == nil {
+		t.Error("too-short trace accepted")
+	}
+	bad := &trace.Trace{Packets: []trace.Packet{{Seq: 0, Size: 0, SendTime: 0, RecvTime: 1}}}
+	if _, err := Estimate(bad, EstimatorConfig{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestEmulatorReproducesControlProtocol(t *testing.T) {
+	// The A→A sanity check behind Fig 4(a): learn from Cubic, replay Cubic
+	// on the emulator, and the gross metrics must match the ground truth.
+	cfg := knownPath()
+	gt := genTrace(cc.NewCubic(), cfg, nil, 20*sim.Second)
+	p, err := Estimate(gt, EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sim.NewScheduler()
+	path := p.Emulate(sched, Full, 1)
+	flow := cc.NewFlow(sched, path.Port("main"), cc.NewCubic(), cc.FlowConfig{
+		Duration: 20 * sim.Second, AckDelay: p.PropDelay,
+	})
+	flow.Start()
+	sched.RunUntil(25 * sim.Second)
+	em := flow.Trace()
+
+	if gtT, emT := gt.Throughput(), em.Throughput(); math.Abs(gtT-emT)/gtT > 0.15 {
+		t.Errorf("throughput: GT %.2f Mbps vs emulated %.2f Mbps", gtT/1e6, emT/1e6)
+	}
+	gtP95, emP95 := gt.DelayPercentile(95), em.DelayPercentile(95)
+	if math.Abs(gtP95-emP95)/gtP95 > 0.35 {
+		t.Errorf("p95 delay: GT %.1f ms vs emulated %.1f ms", gtP95, emP95)
+	}
+}
+
+func TestVariantBehaviours(t *testing.T) {
+	cfg := knownPath()
+	ct := netsim.ConstantBitRate{Rate: 500_000, From: 2 * sim.Second, To: 18 * sim.Second}
+	gt := genTrace(cc.NewCubic(), cfg, ct, 20*sim.Second)
+	p, err := Estimate(gt, EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(v Variant) *trace.Trace {
+		sched := sim.NewScheduler()
+		path := p.Emulate(sched, v, 2)
+		flow := cc.NewFlow(sched, path.Port("main"), cc.NewCubic(), cc.FlowConfig{
+			Duration: 20 * sim.Second, AckDelay: p.PropDelay,
+		})
+		flow.Start()
+		sched.RunUntil(25 * sim.Second)
+		return flow.Trace()
+	}
+	full := run(Full)
+	noct := run(NoCT)
+	stat := run(StatLoss)
+
+	// Without cross traffic the emulator's residual capacity is higher, so
+	// the sender should achieve at least the full variant's throughput.
+	if noct.Throughput() < full.Throughput()*0.95 {
+		t.Errorf("NoCT throughput %.2f < Full %.2f Mbps", noct.Throughput()/1e6, full.Throughput()/1e6)
+	}
+	// StatLoss must actually lose packets at roughly the observed rate.
+	if p.LossRate > 0.005 {
+		if stat.LossRate() < p.LossRate*0.3 {
+			t.Errorf("StatLoss loss %.4f far below observed %.4f", stat.LossRate(), p.LossRate)
+		}
+	}
+	// Full should match GT throughput better than NoCT does.
+	gtT := gt.Throughput()
+	errFull := math.Abs(full.Throughput() - gtT)
+	errNoCT := math.Abs(noct.Throughput() - gtT)
+	if errFull > errNoCT {
+		t.Errorf("Full variant (err %.2f Mbps) worse than NoCT (err %.2f Mbps)", errFull/1e6, errNoCT/1e6)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Full.String() != "iboxnet" || NoCT.String() != "iboxnet-noct" || StatLoss.String() != "iboxnet-statloss" {
+		t.Error("variant names changed")
+	}
+	if Variant(99).String() == "" {
+		t.Error("unknown variant should still format")
+	}
+}
+
+func TestStatLossClampsPathologicalRate(t *testing.T) {
+	p := Params{Bandwidth: 1e6, PropDelay: sim.Millisecond, BufferBytes: 10000, LossRate: 1.0}
+	sched := sim.NewScheduler()
+	path := p.Emulate(sched, StatLoss, 0) // must not panic on LossProb=1
+	if path == nil {
+		t.Fatal("nil path")
+	}
+}

@@ -1,0 +1,62 @@
+package iboxnet
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/cc"
+	"ibox/internal/netsim"
+	"ibox/internal/sim"
+)
+
+// TestEstimateOnMultiHopPathDegradesGracefully checks §6's claim that
+// violating iBoxNet's single-bottleneck assumption yields "a graceful
+// degradation, rather than full invalidation": on a three-hop path the
+// estimator should still recover the *dominant* bottleneck's rate and the
+// *total* propagation delay, and an emulator built from those parameters
+// should reproduce the end-to-end throughput of a new protocol.
+func TestEstimateOnMultiHopPathDegradesGracefully(t *testing.T) {
+	hops := []netsim.HopConfig{
+		{Rate: 12_500_000, BufferBytes: 1_000_000, PropDelay: 5 * sim.Millisecond},
+		{Rate: 1_250_000, BufferBytes: 125_000, PropDelay: 10 * sim.Millisecond}, // dominant bottleneck
+		{Rate: 3_125_000, BufferBytes: 250_000, PropDelay: 15 * sim.Millisecond}, // secondary constriction
+	}
+	run := func(sender cc.Sender, seed int64) *cc.Flow {
+		sched := sim.NewScheduler()
+		c := netsim.NewChain(sched, hops)
+		f := cc.NewFlow(sched, c.Port("m"), sender, cc.FlowConfig{
+			Duration: 15 * sim.Second, AckDelay: 30 * sim.Millisecond,
+		})
+		f.Start()
+		sched.RunUntil(18 * sim.Second)
+		return f
+	}
+	gt := run(cc.NewCubic(), 1).Trace()
+	p, err := Estimate(gt, EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dominant bottleneck rate within 10%.
+	if math.Abs(p.Bandwidth-1_250_000)/1_250_000 > 0.10 {
+		t.Errorf("bandwidth = %.0f, want ≈1.25e6 (dominant bottleneck)", p.Bandwidth)
+	}
+	// Total propagation (30 ms) within a few serializations.
+	if p.PropDelay < 30*sim.Millisecond || p.PropDelay > 40*sim.Millisecond {
+		t.Errorf("prop delay = %v, want ≈30–34 ms (sum of hops)", p.PropDelay)
+	}
+	// Counterfactual quality: Vegas on the learnt single-bottleneck model
+	// vs Vegas on the true chain.
+	gtVegas := run(cc.NewVegas(), 2).Trace()
+	sched := sim.NewScheduler()
+	path := p.Emulate(sched, Full, 3)
+	f := cc.NewFlow(sched, path.Port("m"), cc.NewVegas(), cc.FlowConfig{
+		Duration: 15 * sim.Second, AckDelay: 30 * sim.Millisecond,
+	})
+	f.Start()
+	sched.RunUntil(18 * sim.Second)
+	simVegas := f.Trace()
+	if relErr := math.Abs(simVegas.Throughput()-gtVegas.Throughput()) / gtVegas.Throughput(); relErr > 0.25 {
+		t.Errorf("multi-hop counterfactual throughput error %.0f%%: GT %.2f vs sim %.2f Mbps",
+			relErr*100, gtVegas.Throughput()/1e6, simVegas.Throughput()/1e6)
+	}
+}

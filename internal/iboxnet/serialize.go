@@ -1,0 +1,51 @@
+package iboxnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Write serializes the parameters as JSON (the "iBoxNet profile" the paper
+// planned to release for the community).
+func (p Params) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(p)
+}
+
+// ReadParams restores parameters serialized by Write.
+func ReadParams(r io.Reader) (Params, error) {
+	var p Params
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return Params{}, fmt.Errorf("iboxnet: decode params: %w", err)
+	}
+	if p.Bandwidth <= 0 || p.BufferBytes <= 0 {
+		return Params{}, fmt.Errorf("iboxnet: decoded params invalid: %s", p)
+	}
+	return p, nil
+}
+
+// Save writes the parameters to a file.
+func (p Params) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := p.Write(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// LoadParams reads parameters from a file.
+func LoadParams(path string) (Params, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Params{}, err
+	}
+	defer f.Close()
+	return ReadParams(bufio.NewReader(f))
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+func pfCfg(background int, seed int64) Config {
+	return Config{
+		Rate:        1_250_000, // ignored by PF cell but must validate
+		BufferBytes: 1_000_000,
+		PropDelay:   20 * sim.Millisecond,
+		PFCell: &PFCellModel{
+			PeakRate:   1_250_000,
+			Background: background,
+		},
+		Seed: seed,
+	}
+}
+
+func TestPFCellValidate(t *testing.T) {
+	cfg := pfCfg(3, 1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid PF config rejected: %v", err)
+	}
+	bad := pfCfg(3, 1)
+	bad.PFCell.PeakRate = 0
+	if bad.Validate() == nil {
+		t.Error("zero peak rate accepted")
+	}
+	both := pfCfg(3, 1)
+	both.Cellular = &CellularModel{Interval: sim.Second, Sigma: 0.1, MinShare: 0.5, MaxShare: 1}
+	if both.Validate() == nil {
+		t.Error("PF + cellular accepted")
+	}
+}
+
+func TestPFCellRateVariesAndStaysPositive(t *testing.T) {
+	sched := sim.NewScheduler()
+	p := New(sched, pfCfg(4, 7))
+	seen := map[float64]bool{}
+	minRate := math.Inf(1)
+	for i := 1; i <= 200; i++ {
+		sched.At(sim.Time(i)*50*sim.Millisecond, func() {
+			r := p.CurrentRate()
+			seen[r] = true
+			if r < minRate {
+				minRate = r
+			}
+		})
+	}
+	sched.RunUntil(11 * sim.Second)
+	if len(seen) < 50 {
+		t.Errorf("PF rate took only %d distinct values", len(seen))
+	}
+	if minRate <= 0 {
+		t.Errorf("rate dropped to %v", minRate)
+	}
+}
+
+func TestPFCellShareDecreasesWithUsers(t *testing.T) {
+	meanRate := func(background int) float64 {
+		sched := sim.NewScheduler()
+		p := New(sched, pfCfg(background, 3))
+		sum, n := 0.0, 0
+		for i := 1; i <= 400; i++ {
+			sched.At(sim.Time(i)*25*sim.Millisecond, func() {
+				sum += p.CurrentRate()
+				n++
+			})
+		}
+		sched.RunUntil(11 * sim.Second)
+		return sum / float64(n)
+	}
+	alone := meanRate(0)
+	shared := meanRate(4)
+	if !(shared < alone) {
+		t.Errorf("share with 4 competitors (%.0f) not below solo (%.0f)", shared, alone)
+	}
+	// PF with 5 homogeneous users: roughly a fifth of solo, with
+	// multi-user diversity gain allowed (factor 2 slack).
+	if shared < alone/15 || shared > alone/2 {
+		t.Errorf("5-user share %.0f vs solo %.0f outside plausible PF range", shared, alone)
+	}
+}
+
+func TestPFCellCarriesTraffic(t *testing.T) {
+	sched := sim.NewScheduler()
+	p := New(sched, pfCfg(2, 9))
+	port := p.Port("m")
+	delivered := 0
+	// Offer 0.2 Mbps — far below any plausible share — and expect ~all
+	// packets through with bounded delay.
+	for i := 0; i < 200; i++ {
+		sched.At(sim.Time(i)*60*sim.Millisecond, func() {
+			port.Send(1500, func(sim.Time) { delivered++ }, nil)
+		})
+	}
+	sched.RunUntil(20 * sim.Second)
+	if delivered < 195 {
+		t.Errorf("delivered %d of 200 at light load", delivered)
+	}
+}
+
+func TestPFCellDeterministic(t *testing.T) {
+	run := func() float64 {
+		sched := sim.NewScheduler()
+		p := New(sched, pfCfg(3, 21))
+		var last float64
+		sched.At(5*sim.Second, func() { last = p.CurrentRate() })
+		sched.RunUntil(6 * sim.Second)
+		return last
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("PF cell not deterministic: %v vs %v", a, b)
+	}
+}

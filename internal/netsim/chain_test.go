@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+func threeHop() []HopConfig {
+	return []HopConfig{
+		{Rate: 12_500_000, BufferBytes: 1_000_000, PropDelay: 5 * sim.Millisecond},  // fast access
+		{Rate: 1_250_000, BufferBytes: 125_000, PropDelay: 10 * sim.Millisecond},    // 10 Mbps bottleneck
+		{Rate: 12_500_000, BufferBytes: 1_000_000, PropDelay: 15 * sim.Millisecond}, // fast core
+	}
+}
+
+func TestChainUnloadedDelay(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := NewChain(sched, threeHop())
+	port := c.Port("m")
+	var recv sim.Time = -1
+	sched.At(0, func() {
+		port.Send(1500, func(r sim.Time) { recv = r }, nil)
+	})
+	sched.Run()
+	// Sum of propagation (30 ms) plus three serializations (0.12+1.2+0.12 ms).
+	want := 30*sim.Millisecond + sim.Time(1500.0/12.5e6*2e9) + sim.Time(1500.0/1.25e6*1e9)
+	if recv < want-sim.Millisecond || recv > want+sim.Millisecond {
+		t.Errorf("delay = %v, want ≈%v", recv, want)
+	}
+}
+
+func TestChainBottleneckDominates(t *testing.T) {
+	// Sustained overload: throughput is set by the slowest hop.
+	sched := sim.NewScheduler()
+	c := NewChain(sched, threeHop())
+	port := c.Port("m")
+	delivered := 0
+	var last sim.Time
+	n := 2000
+	for i := 0; i < n; i++ {
+		sched.At(sim.Time(i)*800*sim.Microsecond, func() { // 15 Mbps offered
+			port.Send(1500, func(r sim.Time) {
+				delivered++
+				if r > last {
+					last = r
+				}
+			}, func() {})
+		})
+	}
+	sched.Run()
+	rate := float64(delivered) * 1500 * 8 / last.Seconds()
+	if math.Abs(rate-10e6)/10e6 > 0.1 {
+		t.Errorf("chain throughput %.2f Mbps, want ≈10 (bottleneck)", rate/1e6)
+	}
+}
+
+func TestChainFIFOAcrossHops(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := NewChain(sched, threeHop())
+	port := c.Port("m")
+	var order []int
+	for i := 0; i < 300; i++ {
+		i := i
+		sched.At(sim.Time(i)*900*sim.Microsecond, func() {
+			port.Send(1500, func(sim.Time) { order = append(order, i) }, nil)
+		})
+	}
+	sched.Run()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatal("chain reordered packets")
+		}
+	}
+}
+
+func TestChainInteriorCrossTraffic(t *testing.T) {
+	// CT at the middle hop congests it; probes see extra queueing compared
+	// to the same chain without CT.
+	delayWith := func(ct bool) sim.Time {
+		sched := sim.NewScheduler()
+		c := NewChain(sched, threeHop())
+		if ct {
+			// Overload the 1.25 MB/s middle hop so a standing queue forms.
+			c.AddCrossTraffic(1, ConstantBitRate{Rate: 1_400_000, From: 0, To: 3 * sim.Second})
+		}
+		port := c.Port("m")
+		var total sim.Time
+		var n int
+		for i := 0; i < 20; i++ {
+			sched.At(sim.Time(i)*100*sim.Millisecond+sim.Second, func() {
+				send := sched.Now()
+				port.Send(500, func(r sim.Time) {
+					total += r - send
+					n++
+				}, nil)
+			})
+		}
+		sched.Run()
+		return total / sim.Time(n)
+	}
+	quiet := delayWith(false)
+	busy := delayWith(true)
+	if busy <= quiet+5*sim.Millisecond {
+		t.Errorf("interior CT did not add queueing: quiet=%v busy=%v", quiet, busy)
+	}
+}
+
+func TestChainDropsAtFullHop(t *testing.T) {
+	hops := threeHop()
+	hops[1].BufferBytes = 7_500 // 5 packets
+	sched := sim.NewScheduler()
+	c := NewChain(sched, hops)
+	port := c.Port("m")
+	delivered, dropped := 0, 0
+	sched.At(0, func() {
+		for i := 0; i < 50; i++ {
+			port.Send(1500, func(sim.Time) { delivered++ }, func() { dropped++ })
+		}
+	})
+	sched.Run()
+	if delivered+dropped != 50 {
+		t.Fatalf("accounting: %d + %d", delivered, dropped)
+	}
+	if dropped == 0 {
+		t.Error("no drops at the shallow middle hop")
+	}
+}
+
+func TestChainPanicsOnBadConfig(t *testing.T) {
+	for _, hops := range [][]HopConfig{
+		nil,
+		{{Rate: 0, BufferBytes: 1, PropDelay: 0}},
+		{{Rate: 1, BufferBytes: 0, PropDelay: 0}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", hops)
+				}
+			}()
+			NewChain(sim.NewScheduler(), hops)
+		}()
+	}
+	// Cross-traffic hop out of range panics too.
+	c := NewChain(sim.NewScheduler(), threeHop())
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range hop")
+		}
+	}()
+	c.AddCrossTraffic(9, ConstantBitRate{Rate: 1})
+}

@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"ibox/internal/sim"
+)
+
+// CrossTraffic is an open-loop competing traffic source attached to a
+// bottleneck queue (a Path's single bottleneck or one hop of a Chain).
+// Closed-loop cross traffic (e.g. a competing TCP Cubic flow, as in the
+// paper's instance test) is built at a higher layer by attaching a second
+// cc.Flow to its own Port.
+type CrossTraffic interface {
+	start(inj injector)
+}
+
+// injector is where a cross-traffic source drops its bytes.
+type injector struct {
+	sched   *sim.Scheduler
+	enqueue func(size int)
+}
+
+// ConstantBitRate emits PacketSize-byte packets at Rate bytes/sec during
+// [From, To).
+type ConstantBitRate struct {
+	Rate       float64  // bytes per second
+	PacketSize int      // bytes; 1500 if zero
+	From, To   sim.Time // active interval; To=0 means forever
+}
+
+func (c ConstantBitRate) start(p injector) {
+	size := c.PacketSize
+	if size <= 0 {
+		size = 1500
+	}
+	if c.Rate <= 0 {
+		return
+	}
+	gap := sim.Time(float64(size) / c.Rate * float64(sim.Second))
+	if gap < 1 {
+		gap = 1
+	}
+	var tick func()
+	tick = func() {
+		now := p.sched.Now()
+		if c.To > 0 && now >= c.To {
+			return
+		}
+		if now >= c.From {
+			p.enqueue(size)
+		}
+		p.sched.After(gap, tick)
+	}
+	at := c.From
+	if at < p.sched.Now() {
+		at = p.sched.Now()
+	}
+	p.sched.At(at, tick)
+}
+
+// Poisson emits PacketSize-byte packets as a Poisson process with the given
+// mean rate during [From, To).
+type Poisson struct {
+	MeanRate   float64 // bytes per second
+	PacketSize int     // bytes; 1500 if zero
+	From, To   sim.Time
+	Seed       int64
+}
+
+func (c Poisson) start(p injector) {
+	size := c.PacketSize
+	if size <= 0 {
+		size = 1500
+	}
+	if c.MeanRate <= 0 {
+		return
+	}
+	rng := sim.NewRand(c.Seed, 17)
+	meanGap := float64(size) / c.MeanRate // seconds
+	var tick func()
+	tick = func() {
+		now := p.sched.Now()
+		if c.To > 0 && now >= c.To {
+			return
+		}
+		if now >= c.From {
+			p.enqueue(size)
+		}
+		gap := sim.FromSeconds(rng.ExpFloat64() * meanGap)
+		if gap < 1 {
+			gap = 1
+		}
+		p.sched.After(gap, tick)
+	}
+	at := c.From
+	if at < p.sched.Now() {
+		at = p.sched.Now()
+	}
+	p.sched.At(at, tick)
+}
+
+// OnOff alternates between bursting at Rate for OnDur and silence for
+// OffDur, starting at From.
+type OnOff struct {
+	Rate       float64 // bytes per second while on
+	PacketSize int
+	OnDur      sim.Time
+	OffDur     sim.Time
+	From, To   sim.Time
+}
+
+func (c OnOff) start(p injector) {
+	size := c.PacketSize
+	if size <= 0 {
+		size = 1500
+	}
+	if c.Rate <= 0 || c.OnDur <= 0 {
+		return
+	}
+	gap := sim.Time(float64(size) / c.Rate * float64(sim.Second))
+	if gap < 1 {
+		gap = 1
+	}
+	period := c.OnDur + c.OffDur
+	var tick func()
+	tick = func() {
+		now := p.sched.Now()
+		if c.To > 0 && now >= c.To {
+			return
+		}
+		if now >= c.From {
+			phase := (now - c.From) % period
+			if phase < c.OnDur {
+				p.enqueue(size)
+			}
+		}
+		p.sched.After(gap, tick)
+	}
+	at := c.From
+	if at < p.sched.Now() {
+		at = p.sched.Now()
+	}
+	p.sched.At(at, tick)
+}
+
+// Replay injects cross traffic following a recorded byte-count series:
+// during window i of the series, Bytes[i] bytes are sent as evenly spaced
+// PacketSize-byte packets. This is how the iBoxNet emulator recreates the
+// estimated cross traffic (§3, Fig 1: "learns cross traffic and emulates it
+// using a sender C").
+type Replay struct {
+	Start      sim.Time
+	Step       sim.Time
+	Bytes      []float64 // bytes per window
+	PacketSize int
+}
+
+func (c Replay) start(p injector) {
+	size := c.PacketSize
+	if size <= 0 {
+		size = 1500
+	}
+	if c.Step <= 0 {
+		return
+	}
+	for i, b := range c.Bytes {
+		n := int(b / float64(size))
+		rem := int(b) - n*size
+		winStart := c.Start + sim.Time(i)*c.Step
+		if n == 0 && rem < 40 {
+			continue
+		}
+		total := n
+		if rem >= 40 {
+			total++
+		}
+		gap := c.Step / sim.Time(total)
+		for j := 0; j < total; j++ {
+			at := winStart + sim.Time(j)*gap
+			if at < p.sched.Now() {
+				at = p.sched.Now()
+			}
+			sz := size
+			if j == n { // the remainder packet
+				sz = rem
+			}
+			p.sched.At(at, func() { p.enqueue(sz) })
+		}
+	}
+}

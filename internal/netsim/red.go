@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"math"
+
+	"ibox/internal/sim"
+)
+
+// REDModel parameterizes Random Early Detection (Floyd & Jacobson 1993) at
+// the bottleneck queue: instead of pure drop-tail, arriving packets are
+// dropped probabilistically as the EWMA of the queue length rises between
+// MinBytes and MaxBytes, signalling congestion before the buffer fills.
+// AQM changes loss-based protocols' dynamics qualitatively (losses arrive
+// early and spread out instead of in tail bursts), broadening the
+// ground-truth behaviours the learnt models must cope with.
+type REDModel struct {
+	// MinBytes/MaxBytes bound the early-drop region of the averaged queue.
+	MinBytes, MaxBytes int
+	// MaxP is the drop probability as the average reaches MaxBytes
+	// (default 0.1). Above MaxBytes every arrival drops.
+	MaxP float64
+	// Weight is the EWMA weight for the averaged queue (default 0.002).
+	Weight float64
+}
+
+func (m *REDModel) withDefaults() REDModel {
+	out := *m
+	if out.MaxP <= 0 {
+		out.MaxP = 0.1
+	}
+	if out.Weight <= 0 {
+		out.Weight = 0.002
+	}
+	return out
+}
+
+// redState tracks the averaged queue and the count since the last drop
+// (the standard uniformization that spaces early drops out).
+type redState struct {
+	cfg    REDModel
+	avg    float64
+	count  int
+	rng    *randSource
+	idleAt sim.Time // when the queue went idle (avg decays while idle)
+	rate   float64  // drain rate, for idle decay
+}
+
+// admit decides whether an arriving packet is dropped early. qBytes is the
+// instantaneous backlog before this packet.
+func (r *redState) admit(now sim.Time, qBytes int) bool {
+	// Idle decay: while the queue sat empty, the average would have been
+	// driven down by (idle time × rate) worth of departures.
+	if qBytes == 0 && r.idleAt > 0 {
+		idle := (now - r.idleAt).Seconds()
+		m := idle * r.rate / 1500 // packets-worth of idle service
+		r.avg *= math.Pow(1-r.cfg.Weight, m)
+		r.idleAt = 0
+	}
+	r.avg = (1-r.cfg.Weight)*r.avg + r.cfg.Weight*float64(qBytes)
+	switch {
+	case r.avg < float64(r.cfg.MinBytes):
+		r.count = 0
+		return true
+	case r.avg >= float64(r.cfg.MaxBytes):
+		r.count = 0
+		return false
+	default:
+		pb := r.cfg.MaxP * (r.avg - float64(r.cfg.MinBytes)) /
+			float64(r.cfg.MaxBytes-r.cfg.MinBytes)
+		// Uniformized drop probability: pa = pb / (1 − count·pb).
+		pa := pb / math.Max(1-float64(r.count)*pb, 1e-9)
+		r.count++
+		if r.rng.Float64() < pa {
+			r.count = 0
+			return false
+		}
+		return true
+	}
+}
+
+// markIdle records that the queue just drained empty.
+func (r *redState) markIdle(now sim.Time) { r.idleAt = now }

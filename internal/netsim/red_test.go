@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"testing"
+
+	"ibox/internal/cc"
+	"ibox/internal/sim"
+)
+
+func redCfg() Config {
+	cfg := basicCfg() // 10 Mbps, 150 kB buffer, 20 ms
+	cfg.BufferBytes = 150_000
+	cfg.RED = &REDModel{MinBytes: 30_000, MaxBytes: 120_000}
+	return cfg
+}
+
+func TestREDValidate(t *testing.T) {
+	cfg := redCfg()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid RED rejected: %v", err)
+	}
+	bad := redCfg()
+	bad.RED.MaxBytes = bad.RED.MinBytes
+	if bad.Validate() == nil {
+		t.Error("max <= min accepted")
+	}
+	bad2 := redCfg()
+	bad2.RED.MaxBytes = bad2.BufferBytes + 1
+	if bad2.Validate() == nil {
+		t.Error("max beyond buffer accepted")
+	}
+}
+
+func TestREDNoDropsWhenQueueLow(t *testing.T) {
+	// Light load keeps the averaged queue below MinBytes: zero early drops.
+	sched := sim.NewScheduler()
+	p := New(sched, redCfg())
+	port := p.Port("m")
+	dropped := 0
+	for i := 0; i < 500; i++ {
+		sched.At(sim.Time(i)*5*sim.Millisecond, func() { // 2.4 Mbps
+			port.Send(1500, nil, func() { dropped++ })
+		})
+	}
+	sched.Run()
+	if dropped != 0 {
+		t.Errorf("dropped %d at light load", dropped)
+	}
+}
+
+// TestREDKeepsQueueShorterThanDropTail is the defining AQM property: under
+// a loss-based sender, RED's early signals hold the standing queue (and so
+// the delay) below what drop-tail allows, at similar throughput.
+func TestREDKeepsQueueShorterThanDropTail(t *testing.T) {
+	run := func(red bool) (p95 float64, tput float64) {
+		cfg := redCfg()
+		if !red {
+			cfg.RED = nil
+		}
+		sched := sim.NewScheduler()
+		path := New(sched, cfg)
+		f := cc.NewFlow(sched, path.Port("m"), cc.NewReno(), cc.FlowConfig{
+			Duration: 20 * sim.Second, AckDelay: cfg.PropDelay,
+		})
+		f.Start()
+		sched.RunUntil(24 * sim.Second)
+		return f.Trace().DelayPercentile(95), f.Trace().Throughput()
+	}
+	redP95, redTput := run(true)
+	tailP95, tailTput := run(false)
+	t.Logf("RED: p95=%.0fms tput=%.2fMbps | drop-tail: p95=%.0fms tput=%.2fMbps",
+		redP95, redTput/1e6, tailP95, tailTput/1e6)
+	if redP95 >= tailP95 {
+		t.Errorf("RED p95 %.0f not below drop-tail %.0f", redP95, tailP95)
+	}
+	if redTput < 0.6*tailTput {
+		t.Errorf("RED throughput %.2f collapsed vs drop-tail %.2f", redTput/1e6, tailTput/1e6)
+	}
+}
+
+func TestREDCapsMaxQueueBelowBuffer(t *testing.T) {
+	// A loss-based sender against drop-tail rides the queue to the full
+	// buffer (150 kB ⇒ ≈120 ms max queueing); against RED the early drops
+	// arrive around the threshold region, so the maximum observed delay
+	// stays well below the buffer limit.
+	run := func(red bool) sim.Time {
+		cfg := redCfg()
+		if !red {
+			cfg.RED = nil
+		}
+		sched := sim.NewScheduler()
+		path := New(sched, cfg)
+		f := cc.NewFlow(sched, path.Port("m"), cc.NewReno(), cc.FlowConfig{
+			Duration: 20 * sim.Second, AckDelay: cfg.PropDelay,
+		})
+		f.Start()
+		sched.RunUntil(24 * sim.Second)
+		// Steady state only: RED's slow EWMA cannot pre-empt the initial
+		// slow-start spike, so skip the first 5 seconds.
+		var mx sim.Time
+		for _, p := range f.Trace().Packets {
+			if p.Lost || p.SendTime < 5*sim.Second {
+				continue
+			}
+			if d := p.Delay(); d > mx {
+				mx = d
+			}
+		}
+		return mx
+	}
+	redMax := run(true)
+	tailMax := run(false)
+	t.Logf("steady-state max one-way delay: RED=%v drop-tail=%v", redMax, tailMax)
+	// Drop-tail must reach near the buffer limit (20 ms prop + ~120 ms).
+	if tailMax < 120*sim.Millisecond {
+		t.Fatalf("drop-tail max delay %v: buffer never filled, premise broken", tailMax)
+	}
+	if redMax >= tailMax-20*sim.Millisecond {
+		t.Errorf("RED max delay %v not meaningfully below drop-tail %v", redMax, tailMax)
+	}
+}

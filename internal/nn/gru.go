@@ -1,0 +1,259 @@
+package nn
+
+import (
+	"math"
+
+	"ibox/internal/sim"
+)
+
+// GRULayer is one Gated Recurrent Unit layer (Cho et al. 2014):
+//
+//	z = σ(Wx_z·x + Wh_z·h + b_z)        (update gate)
+//	r = σ(Wx_r·x + Wh_r·h + b_r)        (reset gate)
+//	n = tanh(Wx_n·x + r⊙(Wh_n·h) + b_n) (candidate)
+//	h' = (1−z)⊙n + z⊙h
+//
+// GRUs are the cheaper cousin of LSTMs (3 gates instead of 4, no cell
+// state); the §4.2 speed discussion motivates exploring cheaper recurrent
+// models, and BenchmarkAblationCellKind compares the two.
+// Gates are packed z|r|n.
+type GRULayer struct {
+	In, Hidden int
+	Wx         *Param // 3H×In
+	Wh         *Param // 3H×H
+	B          *Param // 3H
+}
+
+// NewGRULayer returns a layer with Xavier-uniform weights.
+func NewGRULayer(in, hidden int, seed int64) *GRULayer {
+	l := &GRULayer{
+		In: in, Hidden: hidden,
+		Wx: newParam(3 * hidden * in),
+		Wh: newParam(3 * hidden * hidden),
+		B:  newParam(3 * hidden),
+	}
+	rng := sim.NewRand(seed, 303)
+	bx := math.Sqrt(6.0 / float64(in+hidden))
+	for i := range l.Wx.W {
+		l.Wx.W[i] = (rng.Float64()*2 - 1) * bx
+	}
+	bh := math.Sqrt(6.0 / float64(2*hidden))
+	for i := range l.Wh.W {
+		l.Wh.W[i] = (rng.Float64()*2 - 1) * bh
+	}
+	return l
+}
+
+// Params returns the layer's learnable parameters.
+func (l *GRULayer) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// gruCache stores one timestep's activations for BPTT.
+type gruCache struct {
+	x, hPrev []float64
+	z, r, n  []float64
+	hhN      []float64 // Wh_n·hPrev (pre reset gating), needed for backward
+	h        []float64
+}
+
+// step computes one forward step.
+func (l *GRULayer) step(x, hPrev []float64) *gruCache {
+	H := l.Hidden
+	pre := make([]float64, 3*H)
+	for j := 0; j < 3*H; j++ {
+		s := l.B.W[j]
+		rx := l.Wx.W[j*l.In : (j+1)*l.In]
+		for k, xv := range x {
+			s += rx[k] * xv
+		}
+		pre[j] = s
+	}
+	// Recurrent contributions: z and r gates add Wh·h directly; n's
+	// recurrent term is gated by r, so keep it separate.
+	cache := &gruCache{
+		x: x, hPrev: hPrev,
+		z: make([]float64, H), r: make([]float64, H), n: make([]float64, H),
+		hhN: make([]float64, H), h: make([]float64, H),
+	}
+	for j := 0; j < 2*H; j++ {
+		rh := l.Wh.W[j*H : (j+1)*H]
+		s := 0.0
+		for k, hv := range hPrev {
+			s += rh[k] * hv
+		}
+		pre[j] += s
+	}
+	for j := 0; j < H; j++ {
+		rh := l.Wh.W[(2*H+j)*H : (2*H+j+1)*H]
+		s := 0.0
+		for k, hv := range hPrev {
+			s += rh[k] * hv
+		}
+		cache.hhN[j] = s
+	}
+	for j := 0; j < H; j++ {
+		cache.z[j] = sigmoid(pre[j])
+		cache.r[j] = sigmoid(pre[H+j])
+		cache.n[j] = math.Tanh(pre[2*H+j] + cache.r[j]*cache.hhN[j])
+		cache.h[j] = (1-cache.z[j])*cache.n[j] + cache.z[j]*hPrev[j]
+	}
+	return cache
+}
+
+// stepBackward accumulates gradients for one timestep given dh flowing
+// into h'; it returns gradients for x and hPrev.
+func (l *GRULayer) stepBackward(cache *gruCache, dh []float64) (dx, dhPrev []float64) {
+	H := l.Hidden
+	dPre := make([]float64, 3*H) // gradients at the gate pre-activations
+	dhPrev = make([]float64, H)
+	for j := 0; j < H; j++ {
+		dz := dh[j] * (cache.hPrev[j] - cache.n[j])
+		dn := dh[j] * (1 - cache.z[j])
+		dhPrev[j] += dh[j] * cache.z[j]
+		dnPre := dn * (1 - cache.n[j]*cache.n[j])
+		dr := dnPre * cache.hhN[j]
+		// n's recurrent term r⊙(Wh_n·hPrev): gradient into Wh_n·hPrev.
+		dHhN := dnPre * cache.r[j]
+		dPre[j] = dz * cache.z[j] * (1 - cache.z[j])
+		dPre[H+j] = dr * cache.r[j] * (1 - cache.r[j])
+		dPre[2*H+j] = dnPre
+		// Backprop dHhN through Wh_n.
+		rh := l.Wh.W[(2*H+j)*H : (2*H+j+1)*H]
+		gh := l.Wh.Grad[(2*H+j)*H : (2*H+j+1)*H]
+		for k, hv := range cache.hPrev {
+			gh[k] += dHhN * hv
+			dhPrev[k] += dHhN * rh[k]
+		}
+	}
+	dx = make([]float64, l.In)
+	for j := 0; j < 3*H; j++ {
+		g := dPre[j]
+		if g == 0 {
+			continue
+		}
+		l.B.Grad[j] += g
+		rx := l.Wx.W[j*l.In : (j+1)*l.In]
+		gx := l.Wx.Grad[j*l.In : (j+1)*l.In]
+		for k, xv := range cache.x {
+			gx[k] += g * xv
+			dx[k] += g * rx[k]
+		}
+		if j < 2*H { // z and r gates have direct recurrent weights
+			rh := l.Wh.W[j*H : (j+1)*H]
+			gh := l.Wh.Grad[j*H : (j+1)*H]
+			for k, hv := range cache.hPrev {
+				gh[k] += g * hv
+				dhPrev[k] += g * rh[k]
+			}
+		}
+	}
+	return dx, dhPrev
+}
+
+// GRU is a stack of GRU layers, with the same sequence API as LSTM.
+type GRU struct {
+	Layers []*GRULayer
+}
+
+// NewGRU builds a stack: the first layer maps in→hidden, the rest
+// hidden→hidden.
+func NewGRU(in, hidden, layers int, seed int64) *GRU {
+	if layers < 1 {
+		panic("nn: GRU needs at least one layer")
+	}
+	m := &GRU{}
+	for l := 0; l < layers; l++ {
+		szIn := hidden
+		if l == 0 {
+			szIn = in
+		}
+		m.Layers = append(m.Layers, NewGRULayer(szIn, hidden, seed+int64(l)*37))
+	}
+	return m
+}
+
+// Params returns all learnable parameters of the stack.
+func (m *GRU) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Hidden returns the stack's hidden size.
+func (m *GRU) Hidden() int { return m.Layers[0].Hidden }
+
+// GRUState is the recurrent state (h per layer).
+type GRUState struct {
+	h [][]float64
+}
+
+// NewState returns a zero state.
+func (m *GRU) NewState() *GRUState {
+	s := &GRUState{}
+	for _, l := range m.Layers {
+		s.h = append(s.h, make([]float64, l.Hidden))
+	}
+	return s
+}
+
+// Step advances one timestep, returning the top hidden vector and the new
+// state; the input state is not modified.
+func (m *GRU) Step(s *GRUState, x []float64) ([]float64, *GRUState) {
+	ns := &GRUState{}
+	in := x
+	for li, l := range m.Layers {
+		cache := l.step(in, s.h[li])
+		ns.h = append(ns.h, cache.h)
+		in = cache.h
+	}
+	return in, ns
+}
+
+// ForwardSequence runs the stack over a sequence from a zero state.
+func (m *GRU) ForwardSequence(xs [][]float64) ([][]float64, [][]*gruCache) {
+	state := m.NewState()
+	outs := make([][]float64, len(xs))
+	caches := make([][]*gruCache, len(xs))
+	for t, x := range xs {
+		caches[t] = make([]*gruCache, len(m.Layers))
+		in := x
+		ns := &GRUState{}
+		for li, l := range m.Layers {
+			cache := l.step(in, state.h[li])
+			caches[t][li] = cache
+			ns.h = append(ns.h, cache.h)
+			in = cache.h
+		}
+		state = ns
+		outs[t] = in
+	}
+	return outs, caches
+}
+
+// BackwardSequence back-propagates through time; dOut[t] is the gradient
+// at the top hidden output of step t. Returns per-step input gradients.
+func (m *GRU) BackwardSequence(caches [][]*gruCache, dOut [][]float64) [][]float64 {
+	L := len(m.Layers)
+	T := len(caches)
+	dxs := make([][]float64, T)
+	dh := make([][]float64, L)
+	for li, l := range m.Layers {
+		dh[li] = make([]float64, l.Hidden)
+	}
+	for t := T - 1; t >= 0; t-- {
+		carry := dOut[t]
+		for li := L - 1; li >= 0; li-- {
+			dhTotal := make([]float64, m.Layers[li].Hidden)
+			copy(dhTotal, dh[li])
+			for k := range carry {
+				dhTotal[k] += carry[k]
+			}
+			dx, dhPrev := m.Layers[li].stepBackward(caches[t][li], dhTotal)
+			dh[li] = dhPrev
+			carry = dx
+		}
+		dxs[t] = carry
+	}
+	return dxs
+}

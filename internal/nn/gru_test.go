@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+func TestGRUStepShapes(t *testing.T) {
+	m := NewGRU(3, 5, 2, 1)
+	s := m.NewState()
+	x := []float64{0.1, -0.2, 0.3}
+	h1, s1 := m.Step(s, x)
+	if len(h1) != 5 {
+		t.Fatalf("output size %d", len(h1))
+	}
+	h2, _ := m.Step(s, x)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("Step mutated its input state")
+		}
+	}
+	h3, _ := m.Step(s1, x)
+	same := true
+	for i := range h1 {
+		if h1[i] != h3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("state had no effect")
+	}
+}
+
+// TestGRUGradCheck verifies the full BPTT gradient of a 2-layer GRU with a
+// squared-error head against finite differences.
+func TestGRUGradCheck(t *testing.T) {
+	g := NewGRU(2, 3, 2, 5)
+	head := NewDense(3, 1, 6)
+	params := append(g.Params(), head.Params()...)
+	xs := [][]float64{{0.5, -0.1}, {0.2, 0.8}, {-0.7, 0.3}, {0.4, -0.4}}
+	ys := []float64{0.3, -0.2, 0.5, 0.1}
+	loss := func() float64 {
+		outs, _ := g.ForwardSequence(xs)
+		total := 0.0
+		for t := range xs {
+			d := head.Forward(outs[t])[0] - ys[t]
+			total += 0.5 * d * d
+		}
+		return total
+	}
+	compute := func() float64 {
+		outs, caches := g.ForwardSequence(xs)
+		dOut := make([][]float64, len(xs))
+		for t := range xs {
+			d := head.Forward(outs[t])[0] - ys[t]
+			dOut[t] = head.Backward(outs[t], []float64{d})
+		}
+		g.BackwardSequence(caches, dOut)
+		return loss()
+	}
+	gradCheck(t, params, compute, loss)
+}
+
+func TestGRULearnsMemoryTask(t *testing.T) {
+	// Same synthetic y_t = 0.8·x_t + 0.5·x_{t−1} task as the LSTM test.
+	g := NewGRU(1, 8, 1, 7)
+	head := NewDense(8, 1, 8)
+	params := append(g.Params(), head.Params()...)
+	opt := NewAdam(0.01, params)
+	rng := sim.NewRand(11, 0)
+	var last float64
+	for epoch := 0; epoch < 300; epoch++ {
+		T := 30
+		xs := make([][]float64, T)
+		ys := make([]float64, T)
+		prev := 0.0
+		for tt := 0; tt < T; tt++ {
+			x := rng.Float64()*2 - 1
+			xs[tt] = []float64{x}
+			ys[tt] = 0.8*x + 0.5*prev
+			prev = x
+		}
+		outs, caches := g.ForwardSequence(xs)
+		dOut := make([][]float64, T)
+		total := 0.0
+		for tt := range xs {
+			d := head.Forward(outs[tt])[0] - ys[tt]
+			total += 0.5 * d * d
+			dOut[tt] = head.Backward(outs[tt], []float64{d / float64(T)})
+		}
+		g.BackwardSequence(caches, dOut)
+		opt.Step()
+		last = total / float64(T)
+	}
+	if last > 0.01 {
+		t.Errorf("final MSE = %.4f, GRU failed to learn", last)
+	}
+}
+
+func TestGRUPanicsOnZeroLayers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 0 layers")
+		}
+	}()
+	NewGRU(1, 4, 0, 0)
+}
+
+func TestGRUParamCount(t *testing.T) {
+	g := NewGRU(4, 8, 2, 0)
+	n := 0
+	for _, p := range g.Params() {
+		n += len(p.W)
+	}
+	// Layer 1: 3·8·4 + 3·8·8 + 3·8 = 96+192+24 = 312
+	// Layer 2: 3·8·8 + 3·8·8 + 24 = 192+192+24 = 408
+	if n != 312+408 {
+		t.Errorf("param count %d, want %d", n, 312+408)
+	}
+	if g.Hidden() != 8 {
+		t.Errorf("Hidden() = %d", g.Hidden())
+	}
+}
+
+func TestGRUCheaperThanLSTM(t *testing.T) {
+	lstm := NewLSTM(4, 16, 2, 0)
+	gru := NewGRU(4, 16, 2, 0)
+	count := func(ps []*Param) int {
+		n := 0
+		for _, p := range ps {
+			n += len(p.W)
+		}
+		return n
+	}
+	if count(gru.Params()) >= count(lstm.Params()) {
+		t.Error("GRU should have fewer parameters than an equal-size LSTM")
+	}
+	if math.Abs(float64(count(gru.Params()))/float64(count(lstm.Params()))-0.75) > 0.01 {
+		t.Errorf("GRU/LSTM param ratio %.3f, want 0.75", float64(count(gru.Params()))/float64(count(lstm.Params())))
+	}
+}

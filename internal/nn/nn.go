@@ -1,0 +1,146 @@
+// Package nn is a from-scratch neural-network substrate (stdlib only) that
+// provides exactly what iBoxML (§4) needs: multi-layer LSTMs trained by
+// truncated back-propagation through time, dense output heads with a
+// Gaussian negative-log-likelihood loss (the paper's N(w₁ᵀh, w₂ᵀh) delay
+// distribution) or binary cross-entropy (the reordering predictor of
+// §5.1), the Adam optimizer, and a standalone logistic-regression model
+// (the paper's "lightweight and much faster linear" reordering predictor).
+//
+// Everything is deterministic given a seed, and all gradients are verified
+// against finite differences in the package tests.
+package nn
+
+import (
+	"math"
+
+	"ibox/internal/sim"
+)
+
+// Param is one learnable tensor with its gradient and Adam moments.
+type Param struct {
+	W    []float64
+	Grad []float64
+	m, v []float64
+}
+
+func newParam(n int) *Param {
+	return &Param{W: make([]float64, n), Grad: make([]float64, n), m: make([]float64, n), v: make([]float64, n)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015) over a set of parameters.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	ClipNorm float64 // global gradient-norm clip; 0 disables
+	t        int
+	params   []*Param
+}
+
+// NewAdam returns an optimizer over params with standard betas.
+func NewAdam(lr float64, params []*Param) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 5, params: params}
+}
+
+// Step applies one update from the accumulated gradients, then clears them.
+func (a *Adam) Step() {
+	a.t++
+	if a.ClipNorm > 0 {
+		norm := 0.0
+		for _, p := range a.params {
+			for _, g := range p.Grad {
+				norm += g * g
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > a.ClipNorm {
+			scale := a.ClipNorm / norm
+			for _, p := range a.params {
+				for i := range p.Grad {
+					p.Grad[i] *= scale
+				}
+			}
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range a.params {
+		for i, g := range p.Grad {
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mh := p.m[i] / bc1
+			vh := p.v[i] / bc2
+			p.W[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Dense is a fully connected layer y = W·x + b.
+type Dense struct {
+	In, Out int
+	W       *Param // Out×In, row-major
+	B       *Param // Out
+}
+
+// NewDense returns a dense layer with Xavier-uniform initialization.
+func NewDense(in, out int, seed int64) *Dense {
+	d := &Dense{In: in, Out: out, W: newParam(in * out), B: newParam(out)}
+	rng := sim.NewRand(seed, 101)
+	bound := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W.W {
+		d.W.W[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return d
+}
+
+// Forward computes the layer output for input x.
+func (d *Dense) Forward(x []float64) []float64 {
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B.W[o]
+		row := d.W.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients for output gradient dy at input
+// x, and returns the gradient with respect to x.
+func (d *Dense) Backward(x, dy []float64) []float64 {
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := dy[o]
+		d.B.Grad[o] += g
+		row := d.W.W[o*d.In : (o+1)*d.In]
+		grow := d.W.Grad[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			grow[i] += g * xi
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's learnable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}

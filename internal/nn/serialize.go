@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// sequenceModelJSON is the serialized form of a SequenceModel.
+type sequenceModelJSON struct {
+	Kind   HeadKind    `json:"kind"`
+	In     int         `json:"in"`
+	Hidden int         `json:"hidden"`
+	Layers int         `json:"layers"`
+	Params [][]float64 `json:"params"` // flattened weights in Params() order
+}
+
+// MarshalJSON serializes the model's architecture and weights.
+func (m *SequenceModel) MarshalJSON() ([]byte, error) {
+	out := sequenceModelJSON{
+		Kind:   m.Kind,
+		In:     m.LSTM.Layers[0].In,
+		Hidden: m.LSTM.Hidden(),
+		Layers: len(m.LSTM.Layers),
+	}
+	for _, p := range m.Params() {
+		out.Params = append(out.Params, p.W)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a model serialized by MarshalJSON.
+func (m *SequenceModel) UnmarshalJSON(data []byte) error {
+	var in sequenceModelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("nn: decode sequence model: %w", err)
+	}
+	restored := NewSequenceModel(in.Kind, in.In, in.Hidden, in.Layers, 0)
+	params := restored.Params()
+	if len(params) != len(in.Params) {
+		return fmt.Errorf("nn: serialized model has %d tensors, want %d", len(in.Params), len(params))
+	}
+	for i, p := range params {
+		if len(p.W) != len(in.Params[i]) {
+			return fmt.Errorf("nn: tensor %d has %d weights, want %d", i, len(in.Params[i]), len(p.W))
+		}
+		copy(p.W, in.Params[i])
+	}
+	*m = *restored
+	return nil
+}

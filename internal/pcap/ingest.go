@@ -1,0 +1,151 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ibox/internal/trace"
+)
+
+// Flow5 identifies a flow by its 5-tuple.
+type Flow5 struct {
+	Proto            byte // 6 = TCP, 17 = UDP
+	SrcIP, DstIP     [4]byte
+	SrcPort, DstPort uint16
+}
+
+// String formats the tuple for diagnostics.
+func (f Flow5) String() string {
+	p := "proto"
+	switch f.Proto {
+	case 6:
+		p = "tcp"
+	case 17:
+		p = "udp"
+	}
+	return fmt.Sprintf("%s %d.%d.%d.%d:%d>%d.%d.%d.%d:%d", p,
+		f.SrcIP[0], f.SrcIP[1], f.SrcIP[2], f.SrcIP[3], f.SrcPort,
+		f.DstIP[0], f.DstIP[1], f.DstIP[2], f.DstIP[3], f.DstPort)
+}
+
+// Decoded is the parsed view of one captured packet: enough to match it
+// between the sender-side and receiver-side captures.
+type Decoded struct {
+	Flow Flow5
+	// ID is the matching key: the TCP sequence number, or for UDP the
+	// first 4 payload bytes interpreted big-endian (Pantheon-style test
+	// tools stamp a counter there).
+	ID uint32
+	// Len is the IP total length (wire bytes independent of snap).
+	Len int
+}
+
+// Decode parses Ethernet/IPv4/{TCP,UDP} framing. It returns ok=false for
+// frames that are not IPv4 TCP/UDP (ARP, IPv6, ICMP, truncated captures) —
+// those are skipped, not errors, as real captures always contain them.
+func Decode(data []byte) (Decoded, bool) {
+	const ethLen = 14
+	if len(data) < ethLen+20 {
+		return Decoded{}, false
+	}
+	etherType := binary.BigEndian.Uint16(data[12:14])
+	if etherType != 0x0800 { // IPv4
+		return Decoded{}, false
+	}
+	ip := data[ethLen:]
+	if ip[0]>>4 != 4 {
+		return Decoded{}, false
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < 20 || len(ip) < ihl+8 {
+		return Decoded{}, false
+	}
+	var d Decoded
+	d.Flow.Proto = ip[9]
+	copy(d.Flow.SrcIP[:], ip[12:16])
+	copy(d.Flow.DstIP[:], ip[16:20])
+	d.Len = int(binary.BigEndian.Uint16(ip[2:4]))
+	l4 := ip[ihl:]
+	switch d.Flow.Proto {
+	case 6: // TCP: need ports + seq
+		if len(l4) < 8 {
+			return Decoded{}, false
+		}
+		d.Flow.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		d.Flow.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		d.ID = binary.BigEndian.Uint32(l4[4:8])
+	case 17: // UDP: ports + 4-byte payload counter
+		if len(l4) < 12 {
+			return Decoded{}, false
+		}
+		d.Flow.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		d.Flow.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		d.ID = binary.BigEndian.Uint32(l4[8:12])
+	default:
+		return Decoded{}, false
+	}
+	return d, true
+}
+
+// PairCaptures matches a sender-side capture against a receiver-side
+// capture for one flow and produces the input–output trace iBox consumes:
+// every sender packet of the flow becomes a trace packet; those found in
+// the receiver capture (same flow + ID) get their receive timestamp, the
+// rest are marked lost. Duplicate IDs (retransmissions) keep the first
+// send and the first arrival.
+func PairCaptures(senderSide, receiverSide []Packet, flow Flow5) (*trace.Trace, error) {
+	recv := map[uint32]*Packet{}
+	for i := range receiverSide {
+		d, ok := Decode(receiverSide[i].Data)
+		if !ok || d.Flow != flow {
+			continue
+		}
+		if _, dup := recv[d.ID]; !dup {
+			recv[d.ID] = &receiverSide[i]
+		}
+	}
+	tr := &trace.Trace{Protocol: "pcap", PathID: flow.String()}
+	seen := map[uint32]bool{}
+	seq := int64(0)
+	for i := range senderSide {
+		d, ok := Decode(senderSide[i].Data)
+		if !ok || d.Flow != flow {
+			continue
+		}
+		if seen[d.ID] {
+			continue // retransmission: keep first send only
+		}
+		seen[d.ID] = true
+		p := trace.Packet{
+			Seq:      seq,
+			Size:     d.Len,
+			SendTime: senderSide[i].Time,
+			Lost:     true,
+		}
+		if r, ok := recv[d.ID]; ok && r.Time >= p.SendTime {
+			p.RecvTime = r.Time
+			p.Lost = false
+		}
+		tr.Packets = append(tr.Packets, p)
+		seq++
+	}
+	if len(tr.Packets) == 0 {
+		return nil, fmt.Errorf("pcap: no packets of flow %v in sender capture", flow)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("pcap: paired trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// Flows enumerates the distinct 5-tuples in a capture with their packet
+// counts, so callers can pick the flow to pair.
+func Flows(pkts []Packet) map[Flow5]int {
+	out := map[Flow5]int{}
+	for i := range pkts {
+		if d, ok := Decode(pkts[i].Data); ok {
+			out[d.Flow]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package pcap reads and writes classic libpcap capture files (the
+// pre-pcapng format every capture tool still emits) and pairs a
+// sender-side with a receiver-side capture into the input–output trace
+// representation iBox learns from.
+//
+// This is the ingestion path a production deployment would use: tcpdump on
+// both ends of a path (the paper's Pantheon corpus is exactly such paired
+// captures), then PairCaptures to match packets end to end. The decoder
+// covers what that job needs — Ethernet/IPv4/UDP-TCP framing with the
+// standard magic-number/endianness and nanosecond-variant handling — and
+// nothing more.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"ibox/internal/sim"
+)
+
+// File-format constants (https://wiki.wireshark.org/Development/LibpcapFileFormat).
+const (
+	magicMicros      = 0xa1b2c3d4
+	magicNanos       = 0xa1b23c4d
+	versionMajor     = 2
+	versionMinor     = 4
+	linkTypeEthernet = 1
+	headerLen        = 24
+	recordHeaderLen  = 16
+)
+
+// Packet is one captured frame with its timestamp and raw bytes.
+type Packet struct {
+	Time sim.Time // capture timestamp (ns since the capture epoch)
+	Data []byte   // captured bytes (may be truncated to SnapLen)
+	// OrigLen is the packet's original length on the wire.
+	OrigLen int
+}
+
+// Reader decodes a libpcap stream.
+type Reader struct {
+	r     *bufio.Reader
+	nanos bool
+	order binary.ByteOrder
+	// LinkType is the capture's link-layer type (1 = Ethernet).
+	LinkType uint32
+}
+
+// NewReader parses the global header and returns a packet reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: short global header: %w", err)
+	}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	rd := &Reader{r: br}
+	switch {
+	case magicLE == magicMicros:
+		rd.order = binary.LittleEndian
+	case magicLE == magicNanos:
+		rd.order, rd.nanos = binary.LittleEndian, true
+	case magicBE == magicMicros:
+		rd.order = binary.BigEndian
+	case magicBE == magicNanos:
+		rd.order, rd.nanos = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("pcap: bad magic %#x", magicLE)
+	}
+	major := rd.order.Uint16(hdr[4:6])
+	if major != versionMajor {
+		return nil, fmt.Errorf("pcap: unsupported version %d.%d", major, rd.order.Uint16(hdr[6:8]))
+	}
+	rd.LinkType = rd.order.Uint32(hdr[20:24])
+	return rd, nil
+}
+
+// Next returns the next packet, or io.EOF at the end of the capture.
+func (rd *Reader) Next() (Packet, error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(rd.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("pcap: short record header: %w", err)
+	}
+	sec := rd.order.Uint32(hdr[0:4])
+	frac := rd.order.Uint32(hdr[4:8])
+	incl := rd.order.Uint32(hdr[8:12])
+	orig := rd.order.Uint32(hdr[12:16])
+	if incl > 1<<26 {
+		return Packet{}, fmt.Errorf("pcap: implausible capture length %d", incl)
+	}
+	data := make([]byte, incl)
+	if _, err := io.ReadFull(rd.r, data); err != nil {
+		return Packet{}, fmt.Errorf("pcap: truncated packet body: %w", err)
+	}
+	ts := sim.Time(sec) * sim.Second
+	if rd.nanos {
+		ts += sim.Time(frac)
+	} else {
+		ts += sim.Time(frac) * sim.Microsecond
+	}
+	return Packet{Time: ts, Data: data, OrigLen: int(orig)}, nil
+}
+
+// ReadAll drains the capture.
+func (rd *Reader) ReadAll() ([]Packet, error) {
+	var out []Packet
+	for {
+		p, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}
+
+// Writer encodes a libpcap stream (little-endian, nanosecond timestamps,
+// Ethernet link type).
+type Writer struct {
+	w       *bufio.Writer
+	snapLen uint32
+	started bool
+}
+
+// NewWriter returns a Writer; the global header is emitted on first use.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), snapLen: 65535}
+}
+
+func (wr *Writer) writeHeader() error {
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNanos)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	binary.LittleEndian.PutUint32(hdr[16:20], wr.snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkTypeEthernet)
+	_, err := wr.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket appends one packet record.
+func (wr *Writer) WritePacket(p Packet) error {
+	if !wr.started {
+		if err := wr.writeHeader(); err != nil {
+			return err
+		}
+		wr.started = true
+	}
+	var hdr [recordHeaderLen]byte
+	sec := uint32(p.Time / sim.Second)
+	nsec := uint32(p.Time % sim.Second)
+	binary.LittleEndian.PutUint32(hdr[0:4], sec)
+	binary.LittleEndian.PutUint32(hdr[4:8], nsec)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(p.Data)))
+	orig := p.OrigLen
+	if orig == 0 {
+		orig = len(p.Data)
+	}
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(orig))
+	if _, err := wr.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := wr.w.Write(p.Data)
+	return err
+}
+
+// Flush writes buffered data to the underlying writer.
+func (wr *Writer) Flush() error {
+	if !wr.started {
+		if err := wr.writeHeader(); err != nil {
+			return err
+		}
+		wr.started = true
+	}
+	return wr.w.Flush()
+}
+
+// Open reads an entire capture file.
+func Open(path string) ([]Packet, uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	rd, err := NewReader(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	pkts, err := rd.ReadAll()
+	return pkts, rd.LinkType, err
+}

@@ -1,0 +1,272 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+// mkUDP builds an Ethernet/IPv4/UDP frame with a 4-byte counter payload.
+func mkUDP(src, dst [4]byte, sport, dport uint16, id uint32, payloadLen int) []byte {
+	if payloadLen < 4 {
+		payloadLen = 4
+	}
+	udpLen := 8 + payloadLen
+	ipLen := 20 + udpLen
+	frame := make([]byte, 14+ipLen)
+	// Ethernet
+	binary.BigEndian.PutUint16(frame[12:14], 0x0800)
+	ip := frame[14:]
+	ip[0] = 0x45 // v4, ihl 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	ip[8] = 64
+	ip[9] = 17 // UDP
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	udp := ip[20:]
+	binary.BigEndian.PutUint16(udp[0:2], sport)
+	binary.BigEndian.PutUint16(udp[2:4], dport)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(udpLen))
+	binary.BigEndian.PutUint32(udp[8:12], id)
+	return frame
+}
+
+// mkTCP builds an Ethernet/IPv4/TCP frame with the given sequence number.
+func mkTCP(src, dst [4]byte, sport, dport uint16, seq uint32) []byte {
+	ipLen := 20 + 20
+	frame := make([]byte, 14+ipLen)
+	binary.BigEndian.PutUint16(frame[12:14], 0x0800)
+	ip := frame[14:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	ip[9] = 6 // TCP
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	tcp := ip[20:]
+	binary.BigEndian.PutUint16(tcp[0:2], sport)
+	binary.BigEndian.PutUint16(tcp[2:4], dport)
+	binary.BigEndian.PutUint32(tcp[4:8], seq)
+	tcp[12] = 5 << 4
+	return frame
+}
+
+var (
+	hostA = [4]byte{10, 0, 0, 1}
+	hostB = [4]byte{10, 0, 0, 2}
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		err := w.WritePacket(Packet{
+			Time: sim.Time(i) * 123456789,
+			Data: mkUDP(hostA, hostB, 4000, 5000, uint32(i), 100),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != linkTypeEthernet {
+		t.Errorf("link type %d", r.LinkType)
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 10 {
+		t.Fatalf("read %d packets", len(pkts))
+	}
+	for i, p := range pkts {
+		if p.Time != sim.Time(i)*123456789 {
+			t.Errorf("packet %d time %d (nanosecond precision lost)", i, p.Time)
+		}
+		if d, ok := Decode(p.Data); !ok || d.ID != uint32(i) {
+			t.Errorf("packet %d decode failed", i)
+		}
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a pcap file at all!!"))); err == nil {
+		t.Error("garbage magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short header accepted")
+	}
+	// Valid header but truncated record.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WritePacket(Packet{Data: mkUDP(hostA, hostB, 1, 2, 3, 50)})
+	w.Flush()
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated body gave %v", err)
+	}
+}
+
+func TestReaderMicrosecondVariant(t *testing.T) {
+	// Hand-build a microsecond-magic big-endian header + one record.
+	var buf bytes.Buffer
+	hdr := make([]byte, headerLen)
+	binary.BigEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.BigEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.BigEndian.PutUint16(hdr[6:8], versionMinor)
+	binary.BigEndian.PutUint32(hdr[20:24], linkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, recordHeaderLen)
+	binary.BigEndian.PutUint32(rec[0:4], 5)   // sec
+	binary.BigEndian.PutUint32(rec[4:8], 250) // µs
+	data := mkUDP(hostA, hostB, 1, 2, 9, 20)
+	binary.BigEndian.PutUint32(rec[8:12], uint32(len(data)))
+	binary.BigEndian.PutUint32(rec[12:16], uint32(len(data)))
+	buf.Write(rec)
+	buf.Write(data)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5*sim.Second + 250*sim.Microsecond
+	if p.Time != want {
+		t.Errorf("time %v, want %v", p.Time, want)
+	}
+}
+
+func TestDecodeSkipsNonIPv4(t *testing.T) {
+	arp := make([]byte, 60)
+	binary.BigEndian.PutUint16(arp[12:14], 0x0806)
+	if _, ok := Decode(arp); ok {
+		t.Error("ARP decoded")
+	}
+	if _, ok := Decode([]byte{1, 2, 3}); ok {
+		t.Error("runt decoded")
+	}
+	icmp := mkUDP(hostA, hostB, 0, 0, 0, 20)
+	icmp[14+9] = 1 // ICMP proto
+	if _, ok := Decode(icmp); ok {
+		t.Error("ICMP decoded")
+	}
+}
+
+func TestDecodeTCP(t *testing.T) {
+	d, ok := Decode(mkTCP(hostA, hostB, 333, 444, 12345))
+	if !ok {
+		t.Fatal("TCP not decoded")
+	}
+	if d.Flow.Proto != 6 || d.Flow.SrcPort != 333 || d.Flow.DstPort != 444 || d.ID != 12345 {
+		t.Errorf("decoded %+v", d)
+	}
+}
+
+func TestPairCaptures(t *testing.T) {
+	flow := Flow5{Proto: 17, SrcIP: hostA, DstIP: hostB, SrcPort: 4000, DstPort: 5000}
+	var send, recv []Packet
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		send = append(send, Packet{Time: at, Data: mkUDP(hostA, hostB, 4000, 5000, uint32(i), 1000)})
+		if i%10 == 7 {
+			continue // lost on the wire
+		}
+		recv = append(recv, Packet{Time: at + 30*sim.Millisecond, Data: mkUDP(hostA, hostB, 4000, 5000, uint32(i), 1000)})
+	}
+	// Noise: a reverse-direction ack stream that must be ignored.
+	for i := 0; i < 50; i++ {
+		recv = append(recv, Packet{Time: sim.Time(i) * 20 * sim.Millisecond,
+			Data: mkUDP(hostB, hostA, 5000, 4000, uint32(i), 10)})
+	}
+	tr, err := PairCaptures(send, recv, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 100 {
+		t.Fatalf("paired %d packets", len(tr.Packets))
+	}
+	lost := 0
+	for _, p := range tr.Packets {
+		if p.Lost {
+			lost++
+			continue
+		}
+		if p.Delay() != 30*sim.Millisecond {
+			t.Fatalf("delay %v", p.Delay())
+		}
+	}
+	if lost != 10 {
+		t.Errorf("lost %d, want 10", lost)
+	}
+	if tr.Packets[5].Size != 1028 { // 20 IP + 8 UDP + 1000 payload
+		t.Errorf("size %d", tr.Packets[5].Size)
+	}
+}
+
+func TestPairCapturesRetransmissions(t *testing.T) {
+	flow := Flow5{Proto: 6, SrcIP: hostA, DstIP: hostB, SrcPort: 1, DstPort: 2}
+	send := []Packet{
+		{Time: 0, Data: mkTCP(hostA, hostB, 1, 2, 100)},
+		{Time: sim.Second, Data: mkTCP(hostA, hostB, 1, 2, 100)}, // retransmit
+		{Time: 2 * sim.Second, Data: mkTCP(hostA, hostB, 1, 2, 200)},
+	}
+	recv := []Packet{
+		{Time: sim.Second + 30*sim.Millisecond, Data: mkTCP(hostA, hostB, 1, 2, 100)},
+		{Time: 2*sim.Second + 30*sim.Millisecond, Data: mkTCP(hostA, hostB, 1, 2, 200)},
+	}
+	tr, err := PairCaptures(send, recv, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 2 {
+		t.Fatalf("paired %d, want 2 (retransmit collapsed)", len(tr.Packets))
+	}
+	// The first send paired with the (late) first arrival.
+	if tr.Packets[0].Delay() != sim.Second+30*sim.Millisecond {
+		t.Errorf("delay %v", tr.Packets[0].Delay())
+	}
+}
+
+func TestPairCapturesNoFlow(t *testing.T) {
+	flow := Flow5{Proto: 17, SrcIP: hostA, DstIP: hostB, SrcPort: 9, DstPort: 9}
+	if _, err := PairCaptures(nil, nil, flow); err == nil {
+		t.Error("empty captures accepted")
+	}
+}
+
+func TestFlows(t *testing.T) {
+	pkts := []Packet{
+		{Data: mkUDP(hostA, hostB, 1, 2, 0, 10)},
+		{Data: mkUDP(hostA, hostB, 1, 2, 1, 10)},
+		{Data: mkTCP(hostB, hostA, 2, 1, 0)},
+	}
+	fs := Flows(pkts)
+	if len(fs) != 2 {
+		t.Fatalf("flows: %v", fs)
+	}
+	udpFlow := Flow5{Proto: 17, SrcIP: hostA, DstIP: hostB, SrcPort: 1, DstPort: 2}
+	if fs[udpFlow] != 2 {
+		t.Errorf("udp flow count %d", fs[udpFlow])
+	}
+}
+
+func TestFlow5String(t *testing.T) {
+	f := Flow5{Proto: 6, SrcIP: hostA, DstIP: hostB, SrcPort: 80, DstPort: 81}
+	if f.String() != "tcp 10.0.0.1:80>10.0.0.2:81" {
+		t.Errorf("got %q", f.String())
+	}
+}

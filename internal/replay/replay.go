@@ -1,0 +1,73 @@
+// Package replay implements the trace-driven replay baseline the paper
+// argues against (§1, §7: Cellsim/mahimahi-style record-and-replay): the
+// recorded per-packet delays and losses of an earlier flow are applied to
+// whatever the sender under test transmits, with no network model in
+// between.
+//
+// The approach looks data-informed — every number comes from a real
+// measurement — but, as §1 puts it, "does not capture the impact on the
+// network of the application or protocol under test (e.g., it might
+// congest the network, invalidating the delay measurements)". A protocol
+// that sends less than the recorded flow still sees the recorded queueing
+// delays; one that sends more sees no additional queueing at all. The
+// baseline exists here so that the experiments can demonstrate exactly
+// that failure against iBoxNet, which learns the queue rather than
+// memorizing its symptoms.
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// Network replays a recorded trace's delay/loss process: a packet sent at
+// time t receives the delay of the recorded packet whose send time is
+// nearest t (and is dropped if that packet was lost). It implements the
+// same contract as netsim.Port, so cc.Flow runs on it unchanged.
+type Network struct {
+	sched *sim.Scheduler
+	sends []sim.Time
+	delay []sim.Time // delay of the recorded packet; -1 = lost
+}
+
+// New builds a replay network from a recorded trace.
+func New(sched *sim.Scheduler, recorded *trace.Trace) (*Network, error) {
+	if len(recorded.Packets) == 0 {
+		return nil, fmt.Errorf("replay: empty recorded trace")
+	}
+	n := &Network{sched: sched}
+	for _, p := range recorded.Packets {
+		n.sends = append(n.sends, p.SendTime)
+		if p.Lost {
+			n.delay = append(n.delay, -1)
+		} else {
+			n.delay = append(n.delay, p.Delay())
+		}
+	}
+	return n, nil
+}
+
+// Now returns the current simulation time.
+func (n *Network) Now() sim.Time { return n.sched.Now() }
+
+// Send applies the recorded fate of the nearest-in-time recorded packet.
+func (n *Network) Send(size int, onDeliver func(recv sim.Time), onDrop func()) {
+	now := n.sched.Now()
+	i := sort.Search(len(n.sends), func(i int) bool { return n.sends[i] >= now })
+	if i > 0 && (i == len(n.sends) || now-n.sends[i-1] <= n.sends[i]-now) {
+		i--
+	}
+	d := n.delay[i]
+	if d < 0 {
+		if onDrop != nil {
+			n.sched.After(sim.Millisecond, onDrop)
+		}
+		return
+	}
+	if onDeliver != nil {
+		n.sched.After(d, func() { onDeliver(n.sched.Now()) })
+	}
+}

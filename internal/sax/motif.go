@@ -1,0 +1,91 @@
+package sax
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the sliding-window subsequence machinery of the
+// cited motif-finding work (Lin, Keogh, Lonardi & Patel 2002): long series
+// are cut into overlapping windows, each window is PAA-reduced and
+// SAX-discretized into a word, consecutive duplicate words are collapsed
+// (numerosity reduction — otherwise trivial matches between overlapping
+// windows dominate), and the most frequent words are the motifs.
+
+// Word is one SAX word with the series offsets (window start indices) at
+// which it occurs after numerosity reduction.
+type Word struct {
+	Text    string
+	Offsets []int
+}
+
+// Words symbolizes a series into SAX words: sliding windows of winLen
+// samples (step 1), PAA to segments values, per-window z-normalized
+// discretization with the given alphabet, and numerosity reduction.
+func Words(xs []float64, winLen, segments, alphabet int) []Word {
+	if winLen <= 0 || winLen > len(xs) || segments <= 0 || alphabet < 2 {
+		return nil
+	}
+	var out []Word
+	index := map[string]int{}
+	prev := ""
+	for i := 0; i+winLen <= len(xs); i++ {
+		word := string(Discretize(PAA(xs[i:i+winLen], segments), alphabet))
+		if word == prev {
+			continue // numerosity reduction
+		}
+		prev = word
+		if j, ok := index[word]; ok {
+			out[j].Offsets = append(out[j].Offsets, i)
+			continue
+		}
+		index[word] = len(out)
+		out = append(out, Word{Text: word, Offsets: []int{i}})
+	}
+	return out
+}
+
+// TopMotifs returns the k most frequent words, most frequent first (ties
+// broken lexicographically for determinism).
+func TopMotifs(words []Word, k int) []Word {
+	sorted := append([]Word(nil), words...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if len(sorted[i].Offsets) != len(sorted[j].Offsets) {
+			return len(sorted[i].Offsets) > len(sorted[j].Offsets)
+		}
+		return sorted[i].Text < sorted[j].Text
+	})
+	if k < len(sorted) {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+// MinDist returns the SAX lower-bounding distance between two equal-length
+// words under the given alphabet (Lin et al. 2003): symbols at distance
+// ≤ 1 contribute zero; farther pairs contribute the gap between the
+// enclosing Gaussian breakpoints. The result lower-bounds the Euclidean
+// distance of the (z-normalized, PAA'd) originals up to the standard
+// sqrt(n/w) scaling, which callers apply themselves.
+func MinDist(a, b string, alphabet int) float64 {
+	if len(a) != len(b) {
+		return -1
+	}
+	bps := GaussianBreakpoints(alphabet)
+	total := 0.0
+	for i := 0; i < len(a); i++ {
+		ca, cb := int(a[i]-'a'), int(b[i]-'a')
+		if ca < 0 || ca >= alphabet || cb < 0 || cb >= alphabet {
+			return -1
+		}
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		if cb-ca <= 1 {
+			continue
+		}
+		d := bps[cb-1] - bps[ca]
+		total += d * d
+	}
+	return math.Sqrt(total)
+}

@@ -1,0 +1,123 @@
+package sax
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+func TestWordsFindsRepeatedMotif(t *testing.T) {
+	// A series with a planted motif: a sharp V-shape at offsets 100, 300,
+	// 500 on a noisy baseline.
+	rng := sim.NewRand(4, 0)
+	xs := make([]float64, 700)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 0.1
+	}
+	plant := func(at int) {
+		for i := 0; i < 16; i++ {
+			depth := 8.0 - math.Abs(float64(i)-8)
+			xs[at+i] -= depth
+		}
+	}
+	plant(100)
+	plant(300)
+	plant(500)
+	words := Words(xs, 16, 4, 4)
+	if len(words) == 0 {
+		t.Fatal("no words")
+	}
+	top := TopMotifs(words, 3)
+	// The motif word should include occurrences near all three plants.
+	found := 0
+	for _, w := range top {
+		near := map[int]bool{}
+		for _, off := range w.Offsets {
+			for _, at := range []int{100, 300, 500} {
+				if off >= at-4 && off <= at+4 {
+					near[at] = true
+				}
+			}
+		}
+		if len(near) == 3 {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Errorf("planted motif not recovered in top words: %+v", top[:min(3, len(top))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestWordsNumerosityReduction(t *testing.T) {
+	// A constant series produces the same word in every window; numerosity
+	// reduction must collapse it to a single occurrence.
+	xs := make([]float64, 100)
+	words := Words(xs, 10, 2, 3)
+	if len(words) != 1 {
+		t.Fatalf("words: %d, want 1", len(words))
+	}
+	if len(words[0].Offsets) != 1 {
+		t.Errorf("offsets: %v, want single occurrence after reduction", words[0].Offsets)
+	}
+}
+
+func TestWordsDegenerateInputs(t *testing.T) {
+	if Words(nil, 4, 2, 3) != nil {
+		t.Error("nil series")
+	}
+	if Words([]float64{1, 2}, 4, 2, 3) != nil {
+		t.Error("window longer than series")
+	}
+	if Words([]float64{1, 2, 3}, 2, 2, 1) != nil {
+		t.Error("alphabet < 2")
+	}
+}
+
+func TestTopMotifsOrderingAndTies(t *testing.T) {
+	words := []Word{
+		{Text: "bb", Offsets: []int{1}},
+		{Text: "aa", Offsets: []int{2, 5}},
+		{Text: "ab", Offsets: []int{3}},
+	}
+	top := TopMotifs(words, 2)
+	if top[0].Text != "aa" {
+		t.Errorf("most frequent first: %v", top)
+	}
+	if top[1].Text != "ab" { // tie with "bb" broken lexicographically
+		t.Errorf("tie break: %v", top)
+	}
+	if len(TopMotifs(words, 10)) != 3 {
+		t.Error("k beyond length should return all")
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	// Adjacent symbols contribute zero.
+	if d := MinDist("ab", "ba", 4); d != 0 {
+		t.Errorf("adjacent dist = %v", d)
+	}
+	// 'a' vs 'd' under alphabet 4: gap between bp[2] and bp[0] = 1.349.
+	d := MinDist("a", "d", 4)
+	if math.Abs(d-1.349) > 1e-3 {
+		t.Errorf("a-d dist = %v, want ≈1.349", d)
+	}
+	// Symmetry.
+	if MinDist("ad", "da", 4) != MinDist("da", "ad", 4) {
+		t.Error("asymmetric")
+	}
+	// Errors.
+	if MinDist("ab", "abc", 4) >= 0 {
+		t.Error("length mismatch accepted")
+	}
+	if MinDist("az", "aa", 4) >= 0 {
+		t.Error("out-of-alphabet symbol accepted")
+	}
+}

@@ -1,0 +1,24 @@
+package sim
+
+import "math/rand"
+
+// NewRand returns a deterministic random source for a simulation component.
+//
+// Every stochastic component in the repository (cross-traffic arrival
+// processes, cellular rate variation, weight initialization, data-set
+// shuffles) derives its stream from an explicit (seed, stream) pair so that
+// experiments are reproducible bit-for-bit, and so that changing one
+// component's consumption of randomness does not perturb another's.
+func NewRand(seed int64, stream int64) *rand.Rand {
+	// splitmix64-style mixing keeps nearby (seed, stream) pairs uncorrelated.
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(stream)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	return rand.New(rand.NewSource(int64(x)))
+}

@@ -1,0 +1,173 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// It is the foundation for every simulator in this repository: the
+// ground-truth network simulator (internal/netsim), the iBoxNet replay
+// emulator (internal/iboxnet), and the congestion-control transport harness
+// (internal/cc). The kernel is single-threaded and fully deterministic:
+// events at equal timestamps fire in insertion order, and all randomness is
+// drawn from explicitly seeded sources (see NewRand).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in nanoseconds since the start of the run.
+// Using a fixed-point integer representation (rather than float64 seconds)
+// makes event ordering exact and runs bit-for-bit reproducible.
+type Time int64
+
+// Common durations, usable as both Time offsets and Duration-like constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the timestamp with millisecond resolution, e.g. "12.345s".
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: insertion order for equal timestamps
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 once popped
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// eventQueue is a min-heap over (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a discrete-event scheduler. The zero value is not usable;
+// call NewScheduler.
+type Scheduler struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+}
+
+// NewScheduler returns a scheduler with the clock at zero and no events.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a simulator bug rather than a recoverable condition.
+func (s *Scheduler) At(t Time, fn func()) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Scheduler) After(d Time, fn func()) EventID {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Scheduler) Cancel(id EventID) {
+	ev := id.ev
+	if ev == nil || ev.dead {
+		return
+	}
+	ev.dead = true
+	if ev.idx >= 0 {
+		heap.Remove(&s.queue, ev.idx)
+	}
+}
+
+// Pending reports the number of live scheduled events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Step runs the earliest pending event, advancing the clock to its
+// timestamp. It reports false when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in timestamp order until the queue is empty or
+// the next event would fire after the deadline. The clock is left at the
+// deadline if it was reached, so successive RunUntil calls see monotonic
+// time.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.queue) > 0 {
+		// Peek at the earliest live event.
+		ev := s.queue[0]
+		if ev.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run executes events until none remain.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Wasserstein1 computes the first Wasserstein (earth mover's) distance
+// between two one-dimensional empirical distributions: the area between
+// their quantile functions. Unlike the KS statistic it weighs *how far*
+// mass must move, which makes it the better scalar for comparing delay
+// distributions whose supports overlap but whose tails differ.
+func Wasserstein1(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	x := append([]float64(nil), a...)
+	y := append([]float64(nil), b...)
+	sort.Float64s(x)
+	sort.Float64s(y)
+	// Integrate |F⁻¹_a(q) − F⁻¹_b(q)| over the merged quantile grid.
+	total := 0.0
+	i, j := 0, 0
+	qi, qj := 0.0, 0.0
+	for i < len(x) && j < len(y) {
+		nqi := float64(i+1) / float64(len(x))
+		nqj := float64(j+1) / float64(len(y))
+		step := math.Min(nqi, nqj) - math.Max(qi, qj)
+		if step > 0 {
+			total += step * math.Abs(x[i]-y[j])
+		}
+		if nqi <= nqj {
+			qi = nqi
+			i++
+		}
+		if nqj <= nqi {
+			qj = nqj
+			j++
+		}
+	}
+	return total
+}
+
+// Spearman returns the Spearman rank-correlation coefficient of two
+// equal-length samples: Pearson correlation of their ranks, robust to
+// monotone transformations (useful for rate/delay series whose
+// relationship is monotone but not linear). Ties get average ranks.
+func Spearman(a, b []float64) float64 {
+	n := len(a)
+	if len(b) != n || n < 2 {
+		return math.NaN()
+	}
+	return CrossCorrelation(ranks(a), ranks(b))
+}
+
+// ranks returns average ranks (1-based) of xs.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ibox/internal/sim"
+)
+
+func TestWasserstein1Identical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if w := Wasserstein1(a, a); w != 0 {
+		t.Errorf("W1(a,a) = %v", w)
+	}
+}
+
+func TestWasserstein1Shift(t *testing.T) {
+	// Shifting a distribution by c moves all mass by c: W1 = c.
+	rng := sim.NewRand(1, 0)
+	var a, b []float64
+	for i := 0; i < 2000; i++ {
+		v := rng.NormFloat64()
+		a = append(a, v)
+		b = append(b, v+2.5)
+	}
+	if w := Wasserstein1(a, b); math.Abs(w-2.5) > 1e-9 {
+		t.Errorf("W1 of 2.5-shift = %v", w)
+	}
+}
+
+func TestWasserstein1UnequalSizes(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{1}
+	if w := Wasserstein1(a, b); math.Abs(w-1) > 1e-9 {
+		t.Errorf("W1 = %v, want 1", w)
+	}
+	if !math.IsNaN(Wasserstein1(nil, b)) {
+		t.Error("empty input should give NaN")
+	}
+}
+
+// Property: W1 is symmetric, non-negative, and bounded by the range of the
+// combined support.
+func TestWasserstein1Property(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		clampSlice(a)
+		clampSlice(b)
+		w1 := Wasserstein1(a, b)
+		w2 := Wasserstein1(b, a)
+		if math.Abs(w1-w2) > 1e-9*(1+math.Abs(w1)) {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range append(append([]float64{}, a...), b...) {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return w1 >= -1e-12 && w1 <= hi-lo+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampSlice(xs []float64) {
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+			xs[i] = 0
+		}
+		xs[i] = math.Mod(xs[i], 1e6)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// y = exp(x) is a nonlinear but monotone map: Spearman = 1 exactly.
+	var a, b []float64
+	for i := 0; i < 50; i++ {
+		a = append(a, float64(i))
+		b = append(b, math.Exp(float64(i)/10))
+	}
+	if s := Spearman(a, b); math.Abs(s-1) > 1e-12 {
+		t.Errorf("Spearman of monotone map = %v", s)
+	}
+	// Reverse: -1.
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	if s := Spearman(a, b); math.Abs(s+1) > 1e-12 {
+		t.Errorf("Spearman of reversed = %v", s)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	a := []float64{1, 2, 2, 3}
+	b := []float64{10, 20, 20, 30}
+	if s := Spearman(a, b); math.Abs(s-1) > 1e-12 {
+		t.Errorf("Spearman with ties = %v", s)
+	}
+	if !math.IsNaN(Spearman([]float64{1}, []float64{2})) {
+		t.Error("n<2 should give NaN")
+	}
+	if !math.IsNaN(Spearman([]float64{1, 2}, []float64{1})) {
+		t.Error("length mismatch should give NaN")
+	}
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	r := ranks([]float64{5, 1, 5, 3})
+	want := []float64{3.5, 1, 3.5, 2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+
+	"ibox/internal/sim"
+)
+
+// KMeansResult holds a clustering of points into k clusters.
+type KMeansResult struct {
+	Centroids  [][]float64
+	Assignment []int   // cluster index per input point
+	Inertia    float64 // sum of squared distances to assigned centroids
+}
+
+// KMeans clusters points (each a d-dimensional vector) into k clusters
+// using k-means++ seeding and Lloyd iterations. The seed makes the run
+// deterministic. It panics if k exceeds the number of points (caller bug).
+func KMeans(points [][]float64, k int, seed int64) KMeansResult {
+	n := len(points)
+	if k <= 0 || n < k {
+		panic("stats: KMeans requires 0 < k <= len(points)")
+	}
+	d := len(points[0])
+	rng := sim.NewRand(seed, 99)
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	dist2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sq(L2(p, c)); dd < best {
+					best = dd
+				}
+			}
+			dist2[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			idx = n - 1
+			for i, dd := range dist2 {
+				acc += dd
+				if acc >= r {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestJ := math.Inf(1), 0
+			for j, c := range centroids {
+				if dd := sq(L2(p, c)); dd < best {
+					best, bestJ = dd, j
+				}
+			}
+			if assign[i] != bestJ {
+				assign[i] = bestJ
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for j := range sums {
+			sums[j] = make([]float64, d)
+		}
+		for i, p := range points {
+			counts[assign[i]]++
+			for dd, v := range p {
+				sums[assign[i]][dd] += v
+			}
+		}
+		for j := range centroids {
+			if counts[j] == 0 {
+				continue // keep the old centroid for an empty cluster
+			}
+			for dd := range centroids[j] {
+				centroids[j][dd] = sums[j][dd] / float64(counts[j])
+			}
+		}
+	}
+
+	inertia := 0.0
+	for i, p := range points {
+		inertia += sq(L2(p, centroids[assign[i]]))
+	}
+	return KMeansResult{Centroids: centroids, Assignment: assign, Inertia: inertia}
+}
+
+func sq(x float64) float64 { return x * x }
+
+// ClusterPurity measures how well a clustering recovers known labels: for
+// each cluster it counts the majority true label, and returns the fraction
+// of points covered by their cluster's majority. 1.0 means the clustering
+// is perfect up to relabelling — the paper's "clustering ... is perfect,
+// i.e., with no mistakes" criterion for the instance test.
+func ClusterPurity(assignment, truth []int) float64 {
+	if len(assignment) != len(truth) || len(assignment) == 0 {
+		return 0
+	}
+	counts := map[int]map[int]int{}
+	for i, c := range assignment {
+		if counts[c] == nil {
+			counts[c] = map[int]int{}
+		}
+		counts[c][truth[i]]++
+	}
+	correct := 0
+	for _, m := range counts {
+		best := 0
+		for _, n := range m {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assignment))
+}

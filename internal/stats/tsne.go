@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+
+	"ibox/internal/sim"
+)
+
+// TSNEConfig parameterizes a t-SNE embedding. Zero values pick defaults
+// suitable for the paper's Fig 4(b) scale (tens of points).
+type TSNEConfig struct {
+	Perplexity float64 // default 10
+	Iterations int     // default 500
+	LearnRate  float64 // default 100
+	Seed       int64
+}
+
+// TSNE computes a 2-D t-SNE embedding (van der Maaten & Hinton 2008, exact
+// O(n²) variant) of the given points. It is used to visualize the
+// instance-test clusters of Fig 4(b). The implementation follows the
+// original: binary-search per-point bandwidths to match the target
+// perplexity, symmetrized affinities, early exaggeration for the first
+// quarter of iterations, and gradient descent with momentum.
+func TSNE(points [][]float64, cfg TSNEConfig) [][2]float64 {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	if cfg.Perplexity <= 0 {
+		cfg.Perplexity = 10
+	}
+	if cfg.Perplexity > float64(n-1) {
+		cfg.Perplexity = math.Max(1, float64(n-1)/3)
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 500
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 100
+	}
+
+	// Pairwise squared distances in the input space.
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+		for j := range d2[i] {
+			if i != j {
+				d2[i][j] = sq(L2(points[i], points[j]))
+			}
+		}
+	}
+
+	// Conditional affinities with per-point bandwidth found by binary
+	// search on entropy = log(perplexity).
+	p := make([][]float64, n)
+	target := math.Log(cfg.Perplexity)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		lo, hi := 1e-20, 1e20
+		beta := 1.0
+		for iter := 0; iter < 60; iter++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				p[i][j] = math.Exp(-d2[i][j] * beta)
+				sum += p[i][j]
+			}
+			if sum == 0 {
+				sum = 1e-300
+			}
+			h := 0.0
+			for j := 0; j < n; j++ {
+				if j == i || p[i][j] == 0 {
+					continue
+				}
+				pj := p[i][j] / sum
+				h -= pj * math.Log(pj)
+			}
+			for j := 0; j < n; j++ {
+				p[i][j] /= sum
+			}
+			if math.Abs(h-target) < 1e-5 {
+				break
+			}
+			if h > target {
+				lo = beta
+				if hi >= 1e20 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+	}
+	// Symmetrize.
+	pij := make([][]float64, n)
+	for i := range pij {
+		pij[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pij[i][j] = math.Max((p[i][j]+p[j][i])/(2*float64(n)), 1e-12)
+		}
+	}
+
+	// Initialize embedding with small Gaussian noise.
+	rng := sim.NewRand(cfg.Seed, 7)
+	y := make([][2]float64, n)
+	for i := range y {
+		y[i][0] = rng.NormFloat64() * 1e-2
+		y[i][1] = rng.NormFloat64() * 1e-2
+	}
+	vel := make([][2]float64, n)
+	grad := make([][2]float64, n)
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		exag := 1.0
+		if iter < cfg.Iterations/4 {
+			exag = 4
+		}
+		momentum := 0.5
+		if iter >= 250 {
+			momentum = 0.8
+		}
+		// Student-t affinities in the embedding.
+		sumQ := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := y[i][0] - y[j][0]
+				dy := y[i][1] - y[j][1]
+				v := 1 / (1 + dx*dx + dy*dy)
+				q[i][j], q[j][i] = v, v
+				sumQ += 2 * v
+			}
+		}
+		if sumQ == 0 {
+			sumQ = 1e-300
+		}
+		for i := 0; i < n; i++ {
+			grad[i][0], grad[i][1] = 0, 0
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				mult := (exag*pij[i][j] - q[i][j]/sumQ) * q[i][j]
+				grad[i][0] += 4 * mult * (y[i][0] - y[j][0])
+				grad[i][1] += 4 * mult * (y[i][1] - y[j][1])
+			}
+		}
+		for i := 0; i < n; i++ {
+			vel[i][0] = momentum*vel[i][0] - cfg.LearnRate*grad[i][0]
+			vel[i][1] = momentum*vel[i][1] - cfg.LearnRate*grad[i][1]
+			y[i][0] += vel[i][0]
+			y[i][1] += vel[i][1]
+		}
+	}
+	return y
+}

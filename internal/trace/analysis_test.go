@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+func TestJitterConstantDelay(t *testing.T) {
+	tr := mkTrace(100, 1000, sim.Millisecond, 20*sim.Millisecond)
+	if j := tr.Jitter(); j != 0 {
+		t.Errorf("constant-delay jitter = %v, want 0", j)
+	}
+}
+
+func TestJitterAlternatingDelay(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 200; i++ {
+		d := 20 * sim.Millisecond
+		if i%2 == 1 {
+			d = 30 * sim.Millisecond
+		}
+		send := sim.Time(i) * sim.Millisecond
+		tr.Packets = append(tr.Packets, Packet{Seq: int64(i), Size: 100, SendTime: send, RecvTime: send + d})
+	}
+	// |D| = 10ms every step; the filter converges to 10.
+	if j := tr.Jitter(); math.Abs(j-10) > 0.5 {
+		t.Errorf("alternating jitter = %v, want ≈10", j)
+	}
+}
+
+func TestJitterShortTrace(t *testing.T) {
+	tr := mkTrace(1, 100, sim.Millisecond, sim.Millisecond)
+	if tr.Jitter() != 0 {
+		t.Error("single-packet jitter should be 0")
+	}
+}
+
+func TestDelayAutocorrelation(t *testing.T) {
+	// Slowly varying (sine) delay: high lag-1 autocorrelation.
+	smooth := &Trace{}
+	for i := 0; i < 3000; i++ {
+		send := sim.Time(i) * 10 * sim.Millisecond
+		d := 50 + 30*math.Sin(2*math.Pi*float64(i)/1000)
+		smooth.Packets = append(smooth.Packets, Packet{
+			Seq: int64(i), Size: 100, SendTime: send,
+			RecvTime: send + sim.Time(d*float64(sim.Millisecond)),
+		})
+	}
+	if ac := smooth.DelayAutocorrelation(100*sim.Millisecond, 1); ac < 0.9 {
+		t.Errorf("smooth-delay lag-1 autocorr = %v, want ≥ 0.9", ac)
+	}
+	// Alternating per-window delay: strong negative lag-1 autocorrelation.
+	noisy := &Trace{}
+	for i := 0; i < 3000; i++ {
+		send := sim.Time(i) * 10 * sim.Millisecond
+		d := 30.0
+		if (i/10)%2 == 0 { // alternates every 100ms window
+			d = 80.0
+		}
+		noisy.Packets = append(noisy.Packets, Packet{
+			Seq: int64(i), Size: 100, SendTime: send,
+			RecvTime: send + sim.Time(d*float64(sim.Millisecond)),
+		})
+	}
+	if ac := noisy.DelayAutocorrelation(100*sim.Millisecond, 1); ac > -0.5 {
+		t.Errorf("alternating-delay lag-1 autocorr = %v, want ≤ -0.5", ac)
+	}
+}
+
+func TestAutocorrEdgeCases(t *testing.T) {
+	if autocorr(nil, 1) != 0 {
+		t.Error("nil autocorr")
+	}
+	if autocorr([]float64{1, 2}, 5) != 0 {
+		t.Error("lag beyond length")
+	}
+	if autocorr([]float64{3, 3, 3, 3}, 1) != 0 {
+		t.Error("constant series autocorr should be 0")
+	}
+}
+
+func TestBurstiness(t *testing.T) {
+	// Perfectly paced arrivals: CV ≈ 0.
+	paced := mkTrace(500, 100, 10*sim.Millisecond, 20*sim.Millisecond)
+	if b := paced.Burstiness(); b > 0.01 {
+		t.Errorf("paced burstiness = %v, want ≈0", b)
+	}
+	// Clumped arrivals: groups of 10 packets arriving together, long gaps
+	// between groups — CV well above 1.
+	bursty := &Trace{}
+	seq := int64(0)
+	for g := 0; g < 50; g++ {
+		base := sim.Time(g) * sim.Second
+		for i := 0; i < 10; i++ {
+			at := base + sim.Time(i)*100*sim.Microsecond
+			bursty.Packets = append(bursty.Packets, Packet{
+				Seq: seq, Size: 100, SendTime: at, RecvTime: at + 10*sim.Millisecond,
+			})
+			seq++
+		}
+	}
+	if b := bursty.Burstiness(); b < 2 {
+		t.Errorf("bursty CV = %v, want ≥ 2", b)
+	}
+}
+
+func TestLossRuns(t *testing.T) {
+	tr := mkTrace(20, 100, sim.Millisecond, sim.Millisecond)
+	// Losses at 3; 7,8,9; 19.
+	for _, i := range []int{3, 7, 8, 9, 19} {
+		tr.Packets[i].Lost = true
+	}
+	runs := tr.LossRuns()
+	if runs[1] != 2 || runs[3] != 1 {
+		t.Errorf("loss runs = %v, want map[1:2 3:1]", runs)
+	}
+	clean := mkTrace(5, 100, sim.Millisecond, sim.Millisecond)
+	if len(clean.LossRuns()) != 0 {
+		t.Error("lossless trace has runs")
+	}
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV trace parser never panics and that anything
+// it accepts satisfies the trace invariants.
+func FuzzReadCSV(f *testing.F) {
+	var good bytes.Buffer
+	tr := mkTrace(5, 100, 1000, 500)
+	tr.WriteCSV(&good)
+	f.Add(good.String())
+	f.Add("")
+	f.Add("seq,size,send_ns,recv_ns,lost\n1,2,3\n")
+	f.Add("# protocol=x path=y\n0,100,0,50,0\n")
+	f.Add("0,100,0,50,2\n0,100,-5,50,0\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadCSV accepted an invalid trace: %v", err)
+		}
+	})
+}
+
+// FuzzReadJSON does the same for the JSON form.
+func FuzzReadJSON(f *testing.F) {
+	var good bytes.Buffer
+	mkTrace(3, 100, 1000, 500).WriteJSON(&good)
+	f.Add(good.String())
+	f.Add("{}")
+	f.Add(`{"packets":[{"seq":0,"size":1,"send":0,"recv":0}]}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ReadJSON(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid trace: %v", err)
+		}
+	})
+}

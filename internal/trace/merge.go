@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge combines several traces of concurrent flows over the same path
+// into one aggregate trace, reassigning sequence numbers in send order.
+//
+// This is §6's estimator mitigation made concrete: "we aggregate data from
+// multiple flows from around the same time between two nodes, which
+// increases the likelihood of these assumptions being satisfied" — a
+// single flow may never saturate the bottleneck (biasing the bandwidth
+// estimate low) or never meet an empty queue (biasing the propagation
+// estimate high), but the union of several flows' packets probes the path
+// far more densely.
+func Merge(traces []*Trace) (*Trace, error) {
+	var all []Packet
+	proto := ""
+	pathID := ""
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		all = append(all, tr.Packets...)
+		if proto == "" {
+			proto = tr.Protocol
+		} else if tr.Protocol != "" && tr.Protocol != proto {
+			proto = "mixed"
+		}
+		if pathID == "" {
+			pathID = tr.PathID
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("trace: nothing to merge")
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].SendTime < all[j].SendTime })
+	out := &Trace{Protocol: proto, PathID: pathID + "+merged"}
+	for i := range all {
+		p := all[i]
+		p.Seq = int64(i)
+		out.Packets = append(out.Packets, p)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: merged trace invalid: %w", err)
+	}
+	return out, nil
+}
