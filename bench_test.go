@@ -9,13 +9,13 @@ package ibox
 //
 //	go test -bench=. -benchmem
 //
-// BenchmarkFig2Ensemble            — Fig 2   ensemble A/B test
+// BenchmarkFig2Ensemble/{serial,parallel}       — Fig 2   ensemble A/B test, paired fan-out speedup
 // BenchmarkFig3Ablations           — Fig 3   no-CT / statistical-loss ablations
 // BenchmarkFig4Instance            — Fig 4   instance test (alignment + clustering)
 // BenchmarkFig5Reordering          — Fig 5   reordering-rate CDFs
 // BenchmarkFig7ControlLoopBias     — Fig 7   delay histograms ± CT input
 // BenchmarkFig8BehaviourDiscovery  — Fig 8   SAX pattern tables
-// BenchmarkTable1CrossTraffic      — Table 1 RTC p95-delay distribution error
+// BenchmarkTable1CrossTraffic/{serial,parallel} — Table 1 RTC p95-delay distribution error, paired fan-out speedup
 // BenchmarkLSTMInferencePerPacket  — §4.2    per-packet deep inference cost
 // BenchmarkHierarchicalPerPacket   — §4.2    group-amortized inference (extension)
 // BenchmarkIBoxNetPerPacket        — §4.2    emulator per-packet cost
@@ -24,6 +24,7 @@ package ibox
 // BenchmarkAblation*               — design-choice ablations (DESIGN.md)
 
 import (
+	"fmt"
 	"testing"
 
 	"ibox/internal/cc"
@@ -47,16 +48,36 @@ func benchScale() experiments.Scale {
 	return s
 }
 
-func BenchmarkFig2Ensemble(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig2(benchScale())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", r)
-		}
+// benchSerialParallel runs the same experiment in serial (Workers=1) and
+// parallel (one worker per CPU) modes as paired sub-benchmarks, so the
+// fan-out speedup is measured rather than claimed. Results are
+// byte-identical across modes (see internal/par and the determinism
+// tests); only wall-clock differs.
+func benchSerialParallel(b *testing.B, run func(experiments.Scale) (fmt.Stringer, error)) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"serial", true}, {"parallel", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := benchScale()
+			s.Serial = mode.serial
+			for i := 0; i < b.N; i++ {
+				r, err := run(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("\n%s", r)
+				}
+			}
+		})
 	}
+}
+
+func BenchmarkFig2Ensemble(b *testing.B) {
+	benchSerialParallel(b, func(s experiments.Scale) (fmt.Stringer, error) {
+		return experiments.Fig2(s)
+	})
 }
 
 func BenchmarkFig3Ablations(b *testing.B) {
@@ -123,15 +144,9 @@ func BenchmarkFig8BehaviourDiscovery(b *testing.B) {
 }
 
 func BenchmarkTable1CrossTraffic(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table1(benchScale())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", r)
-		}
-	}
+	benchSerialParallel(b, func(s experiments.Scale) (fmt.Stringer, error) {
+		return experiments.Table1(s)
+	})
 }
 
 // benchTrainingTrace builds a small trace for throwaway speed models.

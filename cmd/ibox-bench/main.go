@@ -1,0 +1,138 @@
+// Command ibox-bench measures the serial-vs-parallel wall-clock of the
+// repository's two hottest experiment paths — the Fig 2 ensemble test
+// (per-trace iBoxNet fit + counterfactual replay) and Table 1 (per-trace
+// iBoxML training + evaluation) — and writes a machine-readable summary.
+//
+// The output seeds the repository's performance trajectory: each entry
+// records ns/op for serial (Workers=1) and parallel (one worker per CPU)
+// execution of the same experiment on the same seed, whose results are
+// byte-identical by construction (see internal/par).
+//
+// Usage:
+//
+//	ibox-bench                         # quick scale, BENCH_parallel.json
+//	ibox-bench -scale paper -reps 5 -out bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"ibox/internal/experiments"
+)
+
+// Measurement is one (benchmark, mode) timing: the minimum over reps of
+// one full experiment run, in the style of go test -bench ns/op.
+type Measurement struct {
+	Name    string  `json:"name"`
+	Mode    string  `json:"mode"` // "serial" or "parallel"
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Seconds float64 `json:"seconds"`
+	Reps    int     `json:"reps"`
+}
+
+// Summary is the BENCH_parallel.json schema.
+type Summary struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Scale      string             `json:"scale"`
+	Seed       int64              `json:"seed"`
+	Timestamp  string             `json:"timestamp"`
+	Benchmarks []Measurement      `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ibox-bench: ")
+	var (
+		scaleName = flag.String("scale", "quick", "experiment scale: quick or paper")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		reps      = flag.Int("reps", 3, "repetitions per (benchmark, mode); the minimum is reported")
+		out       = flag.String("out", "BENCH_parallel.json", "output path for the JSON summary")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "paper":
+		scale = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	scale.Seed = *seed
+
+	benchmarks := []struct {
+		name string
+		run  func(experiments.Scale) error
+	}{
+		{"Fig2Ensemble", func(s experiments.Scale) error { _, err := experiments.Fig2(s); return err }},
+		{"Table1", func(s experiments.Scale) error { _, err := experiments.Table1(s); return err }},
+	}
+	modes := []struct {
+		mode   string
+		serial bool
+	}{
+		{"serial", true},
+		{"parallel", false},
+	}
+
+	sum := Summary{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      *scaleName,
+		Seed:       *seed,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Speedups:   map[string]float64{},
+	}
+	best := map[string]map[string]time.Duration{}
+	for _, b := range benchmarks {
+		best[b.name] = map[string]time.Duration{}
+		for _, m := range modes {
+			s := scale
+			s.Serial = m.serial
+			workers := 1
+			if !m.serial {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			var min time.Duration
+			for r := 0; r < *reps; r++ {
+				start := time.Now()
+				if err := b.run(s); err != nil {
+					log.Fatalf("%s/%s: %v", b.name, m.mode, err)
+				}
+				if d := time.Since(start); r == 0 || d < min {
+					min = d
+				}
+			}
+			best[b.name][m.mode] = min
+			sum.Benchmarks = append(sum.Benchmarks, Measurement{
+				Name: b.name, Mode: m.mode, Workers: workers,
+				NsPerOp: min.Nanoseconds(), Seconds: min.Seconds(), Reps: *reps,
+			})
+			fmt.Printf("%-14s %-8s %12d ns/op  (%.2fs, workers=%d)\n",
+				b.name, m.mode, min.Nanoseconds(), min.Seconds(), workers)
+		}
+		if p := best[b.name]["parallel"]; p > 0 {
+			speedup := float64(best[b.name]["serial"]) / float64(p)
+			sum.Speedups[b.name] = speedup
+			fmt.Printf("%-14s speedup  %12.2fx\n", b.name, speedup)
+		}
+	}
+
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -6,6 +6,11 @@
 //
 //	ibox-experiments -run all -scale quick
 //	ibox-experiments -run fig2,fig5 -scale paper
+//	ibox-experiments -run all -parallel        # run the figures concurrently
+//	ibox-experiments -run all -serial          # single-goroutine reference mode
+//
+// Results are deterministic in the seed: serial and parallel runs print
+// byte-identical experiment output (only timings differ).
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"ibox/internal/experiments"
+	"ibox/internal/par"
 )
 
 // plotter is implemented by results that can emit CSV plot series.
@@ -32,8 +38,14 @@ func main() {
 		scaleName = flag.String("scale", "quick", "experiment scale: quick (seconds) or paper (minutes, paper-sized corpora)")
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		plotDir   = flag.String("plot", "", "also write each figure's plottable series as CSV into this directory")
+		parallel  = flag.Bool("parallel", false, "run the selected experiments concurrently (results print in the usual order)")
+		serial    = flag.Bool("serial", false, "disable all intra-experiment parallelism (single goroutine; byte-identical results)")
+		workers   = flag.Int("workers", 0, "bound the fan-out width; 0 = one worker per CPU")
 	)
 	flag.Parse()
+	if *parallel && *serial {
+		log.Fatalf("-parallel and -serial are mutually exclusive")
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -45,6 +57,8 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
 	scale.Seed = *seed
+	scale.Serial = *serial
+	scale.Workers = *workers
 
 	type experiment struct {
 		name string
@@ -68,32 +82,49 @@ func main() {
 	for _, name := range strings.Split(*runList, ",") {
 		want[strings.TrimSpace(name)] = true
 	}
-	ranAny := false
-	failed := false
+	var selected []experiment
 	for _, e := range all {
-		if !want["all"] && !want[e.name] {
-			continue
+		if want["all"] || want[e.name] {
+			selected = append(selected, e)
 		}
-		ranAny = true
+	}
+	if len(selected) == 0 {
+		log.Fatalf("no experiments matched -run %q", *runList)
+	}
+
+	// In -parallel mode the selected experiments run concurrently (on top
+	// of each experiment's internal fan-out) but results are collected and
+	// printed in the canonical order, so the output is identical to a
+	// sequential invocation.
+	expOpts := par.Options{Serial: !*parallel, Workers: *workers}
+	type outcome struct {
+		res     fmt.Stringer
+		err     error
+		elapsed time.Duration
+	}
+	outs, _ := par.Map(len(selected), expOpts, func(i int) (outcome, error) {
 		start := time.Now()
-		res, err := e.run(scale)
-		if err != nil {
-			log.Printf("%s: %v", e.name, err)
+		res, err := selected[i].run(scale)
+		return outcome{res, err, time.Since(start)}, nil
+	})
+
+	failed := false
+	for i, e := range selected {
+		o := outs[i]
+		if o.err != nil {
+			log.Printf("%s: %v", e.name, o.err)
 			failed = true
 			continue
 		}
-		fmt.Printf("== %s (%.1fs) ==\n%s\n", e.name, time.Since(start).Seconds(), res)
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", e.name, o.elapsed.Seconds(), o.res)
 		if *plotDir != "" {
-			if p, ok := res.(plotter); ok {
+			if p, ok := o.res.(plotter); ok {
 				if err := p.WritePlots(*plotDir); err != nil {
 					log.Printf("%s: writing plots: %v", e.name, err)
 					failed = true
 				}
 			}
 		}
-	}
-	if !ranAny {
-		log.Fatalf("no experiments matched -run %q", *runList)
 	}
 	if failed {
 		os.Exit(1)

@@ -12,6 +12,7 @@ import (
 	"ibox/internal/cc"
 	"ibox/internal/iboxnet"
 	"ibox/internal/pantheon"
+	"ibox/internal/par"
 	"ibox/internal/sim"
 	"ibox/internal/stats"
 	"ibox/internal/trace"
@@ -105,8 +106,17 @@ type EnsembleResult struct {
 // protocol traces: fit one iBoxNet model per training trace, run both the
 // control and the (never-seen-in-training) treatment protocol on every
 // model, run both protocols on the true instances for reference, and
-// compare the metric distributions.
+// compare the metric distributions. Per-trace work fans out over all
+// CPUs; see EnsembleTestOpts for the execution knob.
 func EnsembleTest(corpus *pantheon.Corpus, treatment string, variant iboxnet.Variant, dur sim.Time, seed int64) (*EnsembleResult, error) {
+	return EnsembleTestOpts(corpus, treatment, variant, dur, seed, par.Options{})
+}
+
+// EnsembleTestOpts is EnsembleTest with explicit execution options. The
+// per-trace fit+replay work is independent across traces — every RNG
+// seed is derived from the trace index before dispatch — so serial and
+// parallel runs produce byte-identical results.
+func EnsembleTestOpts(corpus *pantheon.Corpus, treatment string, variant iboxnet.Variant, dur sim.Time, seed int64, opts par.Options) (*EnsembleResult, error) {
 	if len(corpus.Traces) == 0 {
 		return nil, fmt.Errorf("core: empty corpus")
 	}
@@ -116,30 +126,45 @@ func EnsembleTest(corpus *pantheon.Corpus, treatment string, variant iboxnet.Var
 		Variant:   variant,
 		KS:        map[string]stats.KSResult{},
 	}
-	for i, tr := range corpus.Traces {
+	type perTrace struct {
+		gtControl, gtTreatment, simControl, simTreatment Metrics
+	}
+	rows, err := par.Map(len(corpus.Traces), opts, func(i int) (perTrace, error) {
+		tr := corpus.Traces[i]
 		inst := corpus.Instances[i]
-		res.GTControl = append(res.GTControl, MetricsOf(tr))
+		var row perTrace
+		row.gtControl = MetricsOf(tr)
 
 		gtB, err := inst.Run(treatment, dur, seed+int64(i))
 		if err != nil {
-			return nil, fmt.Errorf("core: GT treatment on %s: %w", inst.ID, err)
+			return row, fmt.Errorf("core: GT treatment on %s: %w", inst.ID, err)
 		}
-		res.GTTreatment = append(res.GTTreatment, MetricsOf(gtB))
+		row.gtTreatment = MetricsOf(gtB)
 
 		model, err := Fit(tr, variant)
 		if err != nil {
-			return nil, fmt.Errorf("core: fit on %s: %w", inst.ID, err)
+			return row, fmt.Errorf("core: fit on %s: %w", inst.ID, err)
 		}
 		simA, err := model.Run(corpus.Protocol, dur, seed+int64(i)*2+1)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
-		res.SimControl = append(res.SimControl, MetricsOf(simA))
+		row.simControl = MetricsOf(simA)
 		simB, err := model.Run(treatment, dur, seed+int64(i)*2+2)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
-		res.SimTreatment = append(res.SimTreatment, MetricsOf(simB))
+		row.simTreatment = MetricsOf(simB)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.GTControl = append(res.GTControl, row.gtControl)
+		res.GTTreatment = append(res.GTTreatment, row.gtTreatment)
+		res.SimControl = append(res.SimControl, row.simControl)
+		res.SimTreatment = append(res.SimTreatment, row.simTreatment)
 	}
 	res.computeKS()
 	return res, nil

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+// tinyScale keeps the serial/parallel A/B runs fast: the point of these
+// tests is bit-equality, not statistical fidelity.
+func tinyScale() Scale {
+	return Scale{
+		EnsembleTraces: 4,
+		TraceDur:       4 * sim.Second,
+		TrainTraces:    4,
+		TestTraces:     3,
+		RTCTraces:      6,
+		MLEpochs:       2,
+		RunsPerPattern: 2,
+		SpeedWarmup:    10,
+		SpeedSamples:   50,
+		Seed:           7,
+	}
+}
+
+// TestFig2SerialParallelIdentical is the tentpole's determinism contract:
+// the ensemble test must produce byte-identical output whether it runs on
+// one goroutine or fans out over eight. Every per-trace RNG seed is
+// derived from the trace index before dispatch, so goroutine scheduling
+// cannot perturb any stochastic component (race-safe RNG usage is the
+// thing being proven here; run with -race).
+func TestFig2SerialParallelIdentical(t *testing.T) {
+	serial := tinyScale()
+	serial.Serial = true
+	parallel := tinyScale()
+	parallel.Workers = 8
+
+	rs, err := Fig2(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Fig2(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rp.String(), rs.String(); got != want {
+		t.Errorf("parallel Fig2 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	// Compare the raw distributions too, not just the formatted table.
+	for i := range rs.Ensemble.SimTreatment {
+		if rs.Ensemble.SimTreatment[i] != rp.Ensemble.SimTreatment[i] {
+			t.Errorf("SimTreatment[%d]: serial %+v != parallel %+v",
+				i, rs.Ensemble.SimTreatment[i], rp.Ensemble.SimTreatment[i])
+		}
+	}
+}
+
+// TestTable1SerialParallelIdentical proves the same for the iBoxML
+// training pipeline: trace generation, the two model trainings and the
+// per-call evaluation all fan out, and the resulting table is identical
+// to a single-goroutine run on the same seed.
+func TestTable1SerialParallelIdentical(t *testing.T) {
+	serial := tinyScale()
+	serial.Serial = true
+	parallel := tinyScale()
+	parallel.Workers = 8
+
+	rs, err := Table1(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Table1(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rp.String(), rs.String(); got != want {
+		t.Errorf("parallel Table1 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	for i := range rs.GTP95 {
+		if rs.GTP95[i] != rp.GTP95[i] || rs.NoCTP95[i] != rp.NoCTP95[i] || rs.WithCTP95[i] != rp.WithCTP95[i] {
+			t.Errorf("call %d: serial (%.6f %.6f %.6f) != parallel (%.6f %.6f %.6f)",
+				i, rs.GTP95[i], rs.NoCTP95[i], rs.WithCTP95[i],
+				rp.GTP95[i], rp.NoCTP95[i], rp.WithCTP95[i])
+		}
+	}
+}
+
+// TestFig3SerialParallelIdentical covers the variant-level fan-out layered
+// on the per-trace fan-out.
+func TestFig3SerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial := tinyScale()
+	serial.Serial = true
+	parallel := tinyScale()
+	parallel.Workers = 8
+
+	rs, err := Fig3(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Fig3(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rp.String(), rs.String(); got != want {
+		t.Errorf("parallel Fig3 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ibox/internal/par"
 	"ibox/internal/sim"
 )
 
@@ -40,9 +41,22 @@ type Scale struct {
 	MLEpochs int
 	// RunsPerPattern is the Fig 4 repeat count (paper: 10).
 	RunsPerPattern int
+	// SpeedWarmup/SpeedSamples are the §4.2 per-packet timing loop sizes
+	// (warm-up steps discarded, then timed steps).
+	SpeedWarmup, SpeedSamples int
 	// Seed drives all sampling.
 	Seed int64
+	// Serial disables the per-trace fan-out (results are byte-identical
+	// either way; the knob exists for determinism tests and paired
+	// benchmarks).
+	Serial bool
+	// Workers bounds the fan-out width; 0 means one worker per CPU.
+	Workers int
 }
+
+// Par resolves the scale's execution options for the par fan-out
+// primitive.
+func (s Scale) Par() par.Options { return par.Options{Serial: s.Serial, Workers: s.Workers} }
 
 // Quick returns a scale that runs every experiment in seconds.
 func Quick() Scale {
@@ -54,6 +68,8 @@ func Quick() Scale {
 		RTCTraces:      24,
 		MLEpochs:       12,
 		RunsPerPattern: 4,
+		SpeedWarmup:    50,
+		SpeedSamples:   500,
 		Seed:           1,
 	}
 }
@@ -69,6 +85,8 @@ func Paper() Scale {
 		RTCTraces:      540,
 		MLEpochs:       30,
 		RunsPerPattern: 10,
+		SpeedWarmup:    200,
+		SpeedSamples:   3000,
 		Seed:           1,
 	}
 }

@@ -39,11 +39,11 @@ func summarizeGroup(ms []core.Metrics) groupSummary {
 // cellular paths trains one iBoxNet per trace; Cubic and the never-seen
 // Vegas run on each model and are compared against ground truth.
 func Fig2(s Scale) (*Fig2Result, error) {
-	corpus, err := pantheon.Generate(pantheon.IndiaCellular(), s.EnsembleTraces, "cubic", s.TraceDur, s.Seed)
+	corpus, err := pantheon.GenerateOpts(pantheon.IndiaCellular(), s.EnsembleTraces, "cubic", s.TraceDur, s.Seed, s.Par())
 	if err != nil {
 		return nil, err
 	}
-	ens, err := core.EnsembleTest(corpus, "vegas", iboxnet.Full, s.TraceDur, s.Seed+100)
+	ens, err := core.EnsembleTestOpts(corpus, "vegas", iboxnet.Full, s.TraceDur, s.Seed+100, s.Par())
 	if err != nil {
 		return nil, err
 	}

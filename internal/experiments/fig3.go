@@ -7,6 +7,7 @@ import (
 	"ibox/internal/core"
 	"ibox/internal/iboxnet"
 	"ibox/internal/pantheon"
+	"ibox/internal/par"
 )
 
 // Fig3Result reproduces Fig 3: the same ensemble test as Fig 2 but with
@@ -22,27 +23,23 @@ type Fig3Result struct {
 	Scale    Scale
 }
 
-// Fig3 runs the ablation comparison on one shared corpus.
+// Fig3 runs the ablation comparison on one shared corpus. The three
+// variant ensemble tests are independent given the corpus, so they fan
+// out alongside the per-trace parallelism inside each test.
 func Fig3(s Scale) (*Fig3Result, error) {
-	corpus, err := pantheon.Generate(pantheon.IndiaCellular(), s.EnsembleTraces, "cubic", s.TraceDur, s.Seed)
+	corpus, err := pantheon.GenerateOpts(pantheon.IndiaCellular(), s.EnsembleTraces, "cubic", s.TraceDur, s.Seed, s.Par())
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig3Result{Scale: s}
-	for _, v := range []iboxnet.Variant{iboxnet.Full, iboxnet.NoCT, iboxnet.StatLoss} {
-		ens, err := core.EnsembleTest(corpus, "vegas", v, s.TraceDur, s.Seed+100)
-		if err != nil {
-			return nil, err
-		}
-		switch v {
-		case iboxnet.Full:
-			res.Full = ens
-		case iboxnet.NoCT:
-			res.NoCT = ens
-		case iboxnet.StatLoss:
-			res.StatLoss = ens
-		}
+	variants := []iboxnet.Variant{iboxnet.Full, iboxnet.NoCT, iboxnet.StatLoss}
+	ensembles, err := par.Map(len(variants), s.Par(), func(i int) (*core.EnsembleResult, error) {
+		return core.EnsembleTestOpts(corpus, "vegas", variants[i], s.TraceDur, s.Seed+100, s.Par())
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Full, res.NoCT, res.StatLoss = ensembles[0], ensembles[1], ensembles[2]
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"ibox/internal/iboxml"
 	"ibox/internal/iboxnet"
 	"ibox/internal/pantheon"
+	"ibox/internal/par"
 	"ibox/internal/sim"
 	"ibox/internal/stats"
 	"ibox/internal/trace"
@@ -35,65 +36,98 @@ type reorderPipeline struct {
 // split.
 func runReorderPipeline(s Scale) (*reorderPipeline, error) {
 	total := s.TrainTraces + s.TestTraces
-	corpus, err := pantheon.Generate(pantheon.CellularReorder(), total, "vegas", s.TraceDur, s.Seed+7)
+	corpus, err := pantheon.GenerateOpts(pantheon.CellularReorder(), total, "vegas", s.TraceDur, s.Seed+7, s.Par())
 	if err != nil {
 		return nil, err
 	}
 	train, test := corpus.Split(s.TrainTraces)
 	p := &reorderPipeline{TrainCorpus: train, TestCorpus: test}
 
-	// Training samples with cross-traffic estimates from §3's estimator.
-	var samples []iboxml.TrainingSample
-	for _, tr := range train.Traces {
+	// Training samples with cross-traffic estimates from §3's estimator,
+	// estimated per trace in parallel.
+	samples, err := par.Map(len(train.Traces), s.Par(), func(i int) (iboxml.TrainingSample, error) {
+		tr := train.Traces[i]
 		var ct *trace.Series
 		if params, err := iboxnet.Estimate(tr, iboxnet.EstimatorConfig{}); err == nil {
 			ct = params.CrossTraffic
 		}
-		samples = append(samples, iboxml.TrainingSample{Trace: tr, CT: ct})
-	}
-
-	delayModel, err := iboxml.Train(samples, iboxml.Config{
-		Hidden: 16, Layers: 2, Epochs: s.MLEpochs, Seed: s.Seed,
+		return iboxml.TrainingSample{Trace: tr, CT: ct}, nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("fig5: train iBoxML: %w", err)
-	}
-	lstmPred, err := iboxml.TrainLSTMReorder(samples, iboxml.LSTMReorderConfig{
-		Hidden: 12, Epochs: s.MLEpochs / 2, UseCT: true, Seed: s.Seed + 1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fig5: train LSTM reorder: %w", err)
-	}
-	linPred, err := iboxml.TrainLinearReorder(samples, true, s.Seed+2)
-	if err != nil {
-		return nil, fmt.Errorf("fig5: train linear reorder: %w", err)
+		return nil, err
 	}
 
-	for i, gt := range test.Traces {
-		p.GT = append(p.GT, gt)
+	// The three model trainings are independent (each owns its seed) and
+	// run concurrently; each writes only its own slot.
+	var delayModel *iboxml.Model
+	var lstmPred, linPred iboxml.ReorderPredictor
+	if err := par.ForEach(3, s.Par(), func(i int) error {
+		var err error
+		switch i {
+		case 0:
+			delayModel, err = iboxml.Train(samples, iboxml.Config{
+				Hidden: 16, Layers: 2, Epochs: s.MLEpochs, Seed: s.Seed,
+			})
+			if err != nil {
+				return fmt.Errorf("fig5: train iBoxML: %w", err)
+			}
+		case 1:
+			lstmPred, err = iboxml.TrainLSTMReorder(samples, iboxml.LSTMReorderConfig{
+				Hidden: 12, Epochs: s.MLEpochs / 2, UseCT: true, Seed: s.Seed + 1,
+			})
+			if err != nil {
+				return fmt.Errorf("fig5: train LSTM reorder: %w", err)
+			}
+		case 2:
+			linPred, err = iboxml.TrainLinearReorder(samples, true, s.Seed+2)
+			if err != nil {
+				return fmt.Errorf("fig5: train linear reorder: %w", err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Per-test-trace fit + replay + augmentation: independent across
+	// traces, all seeds derived from the trace index before dispatch.
+	type testRow struct {
+		net, lstm, lin, ml *trace.Trace
+	}
+	rows, err := par.Map(len(test.Traces), s.Par(), func(i int) (testRow, error) {
+		gt := test.Traces[i]
 
 		// iBoxNet: fit on the test trace, replay Vegas on the model.
 		model, err := core.Fit(gt, iboxnet.Full)
 		if err != nil {
-			return nil, fmt.Errorf("fig5: fit test trace %d: %w", i, err)
+			return testRow{}, fmt.Errorf("fig5: fit test trace %d: %w", i, err)
 		}
 		netTr, err := model.Run("vegas", s.TraceDur, s.Seed+int64(i)*13)
 		if err != nil {
-			return nil, err
+			return testRow{}, err
 		}
-		p.IBoxNet = append(p.IBoxNet, netTr)
 
 		// Augmented variants graft predicted reordering onto iBoxNet output.
 		ct := model.Params.CrossTraffic
-		p.IBoxNetLSTM = append(p.IBoxNetLSTM,
-			iboxml.AugmentReordering(netTr, lstmPred, ct, s.Seed+int64(i)*17))
-		p.IBoxNetLin = append(p.IBoxNetLin,
-			iboxml.AugmentReordering(netTr, linPred, ct, s.Seed+int64(i)*19))
-
-		// iBoxML: replay the test flow's sending timeline through the delay
-		// model (the paper "tested by replaying the sending rate time series
-		// from the test set", §4.1).
-		p.IBoxML = append(p.IBoxML, delayModel.SimulateTrace(gt, ct, s.Seed+int64(i)*23))
+		return testRow{
+			net:  netTr,
+			lstm: iboxml.AugmentReordering(netTr, lstmPred, ct, s.Seed+int64(i)*17),
+			lin:  iboxml.AugmentReordering(netTr, linPred, ct, s.Seed+int64(i)*19),
+			// iBoxML: replay the test flow's sending timeline through the
+			// delay model (the paper "tested by replaying the sending rate
+			// time series from the test set", §4.1).
+			ml: delayModel.SimulateTrace(gt, ct, s.Seed+int64(i)*23),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		p.GT = append(p.GT, test.Traces[i])
+		p.IBoxNet = append(p.IBoxNet, row.net)
+		p.IBoxNetLSTM = append(p.IBoxNetLSTM, row.lstm)
+		p.IBoxNetLin = append(p.IBoxNetLin, row.lin)
+		p.IBoxML = append(p.IBoxML, row.ml)
 	}
 	return p, nil
 }

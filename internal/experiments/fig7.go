@@ -8,6 +8,7 @@ import (
 	"ibox/internal/iboxml"
 	"ibox/internal/iboxnet"
 	"ibox/internal/netsim"
+	"ibox/internal/par"
 	"ibox/internal/sim"
 	"ibox/internal/trace"
 )
@@ -76,21 +77,31 @@ func fig7Run(sender cc.Sender, ctRate float64, onDur, offDur sim.Time, dur sim.T
 func Fig7(s Scale) (*Fig7Result, error) {
 	rng := sim.NewRand(s.Seed, 404)
 	// Training: RTC flows under varying bursty CT (30–110% of capacity
-	// while on, so queues genuinely build during bursts).
-	var samples []iboxml.TrainingSample
+	// while on, so queues genuinely build during bursts). The burst
+	// parameters are drawn serially from the shared stream *before*
+	// dispatch (the seed-derivation rule: never share a *rand.Rand across
+	// goroutines), so the fan-out below leaves the draws — and hence the
+	// result — identical to a serial run.
 	nTrain := s.TrainTraces
-	for i := 0; i < nTrain; i++ {
+	type burst struct {
+		ctRate  float64
+		on, off sim.Time
+	}
+	bursts := make([]burst, nTrain)
+	for i := range bursts {
 		// Burst levels reach past capacity: overload bursts pin the queue
 		// regardless of the RTC sender's back-off, giving the training set
 		// genuine high-delay states tied to high cross traffic.
-		ctRate := (0.4 + rng.Float64()*1.2) * 1_250_000
-		on := sim.Time(1+rng.Intn(3)) * sim.Second
-		off := sim.Time(1+rng.Intn(3)) * sim.Second
+		bursts[i].ctRate = (0.4 + rng.Float64()*1.2) * 1_250_000
+		bursts[i].on = sim.Time(1+rng.Intn(3)) * sim.Second
+		bursts[i].off = sim.Time(1+rng.Intn(3)) * sim.Second
+	}
+	samples, err := par.Map(nTrain, s.Par(), func(i int) (iboxml.TrainingSample, error) {
 		// MinRate models a conferencing app's sustained floor (audio + base
 		// video layer); it also keeps the probe stream dense enough for the
 		// queue to stay observable during bursts.
 		tr := fig7Run(cc.NewRTC(cc.RTCConfig{InitialRate: 500_000, MinRate: 125_000, MaxRate: 2_000_000}),
-			ctRate, on, off, s.TraceDur, s.Seed+int64(i))
+			bursts[i].ctRate, bursts[i].on, bursts[i].off, s.TraceDur, s.Seed+int64(i))
 		var ct *trace.Series
 		// The Fig 7 topology is known ("a simple ns-like topology"), so the
 		// estimator is given the true bottleneck rate; a backed-off RTC flow
@@ -98,38 +109,47 @@ func Fig7(s Scale) (*Fig7Result, error) {
 		if params, err := iboxnet.Estimate(tr, iboxnet.EstimatorConfig{KnownBandwidth: 1_250_000}); err == nil {
 			ct = params.CrossTraffic
 		}
-		samples = append(samples, iboxml.TrainingSample{Trace: tr, CT: ct})
+		return iboxml.TrainingSample{Trace: tr, CT: ct}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Heavy prev-delay perturbation (and a large epoch budget — the corpus
 	// is small) forces the model to explain delay from the exogenous
-	// features; see iboxml.Config.PrevDelayNoise.
-	noCTModel, err := iboxml.Train(samples, iboxml.Config{
-		Hidden: 16, Layers: 2, Epochs: 10 * s.MLEpochs, PrevDelayNoise: 1.0,
-		UseCrossTraffic: false, Seed: s.Seed,
+	// features; see iboxml.Config.PrevDelayNoise. The two trainings are
+	// independent and run concurrently.
+	useCT := []bool{false, true}
+	models, err := par.Map(len(useCT), s.Par(), func(i int) (*iboxml.Model, error) {
+		m, err := iboxml.Train(samples, iboxml.Config{
+			Hidden: 16, Layers: 2, Epochs: 10 * s.MLEpochs, PrevDelayNoise: 1.0,
+			UseCrossTraffic: useCT[i], Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig7: train (CT=%v) model: %w", useCT[i], err)
+		}
+		return m, nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("fig7: train no-CT model: %w", err)
+		return nil, err
 	}
-	ctModel, err := iboxml.Train(samples, iboxml.Config{
-		Hidden: 16, Layers: 2, Epochs: 10 * s.MLEpochs, PrevDelayNoise: 1.0,
-		UseCrossTraffic: true, Seed: s.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fig7: train CT model: %w", err)
-	}
+	noCTModel, ctModel := models[0], models[1]
 
 	// Test: high-rate CBR (8 Mbps) under varying bursty cross traffic,
-	// including levels that overload the bottleneck while on.
+	// including levels that overload the bottleneck while on. Levels are
+	// independent; per-level delay slices concatenate in level order.
 	ctLevels := []float64{0, 500_000, 937_500} // 0 / 4 / 7.5 Mbps during bursts
-	var gtDelays, noCTDelays, withCTDelays []float64
-	for i, ctRate := range ctLevels {
-		gt := fig7Run(cc.NewCBR(1_000_000), ctRate, 2*sim.Second, 2*sim.Second, s.TraceDur, s.Seed+900+int64(i))
+	type levelRow struct {
+		gt, noCT, withCT []float64
+	}
+	levels, err := par.Map(len(ctLevels), s.Par(), func(i int) (levelRow, error) {
+		var row levelRow
+		gt := fig7Run(cc.NewCBR(1_000_000), ctLevels[i], 2*sim.Second, 2*sim.Second, s.TraceDur, s.Seed+900+int64(i))
 		// Ground truth: per-window mean delays (same granularity as the
 		// model predictions).
 		_, ys, mask := iboxml.WindowFeatures(gt, nil, 100*sim.Millisecond)
 		for w := range ys {
 			if mask[w] {
-				gtDelays = append(gtDelays, ys[w])
+				row.gt = append(row.gt, ys[w])
 			}
 		}
 		// Cross-traffic estimate from the CBR trace itself (§3 estimator,
@@ -138,10 +158,18 @@ func Fig7(s Scale) (*Fig7Result, error) {
 		if params, err := iboxnet.Estimate(gt, iboxnet.EstimatorConfig{KnownBandwidth: 1_250_000}); err == nil {
 			ct = params.CrossTraffic
 		}
-		muNo, _ := noCTModel.PredictWindows(gt, nil)
-		noCTDelays = append(noCTDelays, muNo...)
-		muCT, _ := ctModel.PredictWindows(gt, ct)
-		withCTDelays = append(withCTDelays, muCT...)
+		row.noCT, _ = noCTModel.PredictWindows(gt, nil)
+		row.withCT, _ = ctModel.PredictWindows(gt, ct)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var gtDelays, noCTDelays, withCTDelays []float64
+	for _, row := range levels {
+		gtDelays = append(gtDelays, row.gt...)
+		noCTDelays = append(noCTDelays, row.noCT...)
+		withCTDelays = append(withCTDelays, row.withCT...)
 	}
 
 	res := &Fig7Result{Scale: s}

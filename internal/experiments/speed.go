@@ -46,8 +46,17 @@ func impliedMbps(perPacket time.Duration) float64 {
 }
 
 // Speed measures per-packet inference cost for several iBoxML sizes and
-// for the iBoxNet emulator.
+// for the iBoxNet emulator. The timing-loop sizes come from the Scale
+// (SpeedWarmup/SpeedSamples) so Quick-scale runs stay CI-fast; zero
+// values fall back to the paper-scale loop sizes.
 func Speed(s Scale) (*SpeedResult, error) {
+	warm, n := s.SpeedWarmup, s.SpeedSamples
+	if warm <= 0 {
+		warm = 200
+	}
+	if n <= 0 {
+		n = 3000
+	}
 	res := &SpeedResult{}
 	// A tiny training run to obtain a usable model of each size.
 	samples := []iboxml.TrainingSample{{Trace: speedTrace(s.Seed)}}
@@ -63,16 +72,14 @@ func Speed(s Scale) (*SpeedResult, error) {
 		}
 		step := m.PredictPacketDelay()
 		feat := []float64{15000, 1.2, 1500, 30}
-		const warm = 200
 		for i := 0; i < warm; i++ {
 			step(feat)
 		}
-		const n = 3000
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			step(feat)
 		}
-		per := time.Since(start) / n
+		per := time.Since(start) / time.Duration(n)
 		res.Rows = append(res.Rows, SpeedRow{
 			Layers: c.layers, Hidden: c.hidden, Params: m.NumParams(),
 			PerPacket: per, ImpliedMbps: impliedMbps(per),
@@ -92,8 +99,7 @@ func Speed(s Scale) (*SpeedResult, error) {
 	start := time.Now()
 	sched.RunUntil(12 * sim.Second)
 	elapsed := time.Since(start)
-	n := len(flow.Trace().Packets)
-	if n > 0 {
+	if n := len(flow.Trace().Packets); n > 0 {
 		res.IBoxNetPerPacket = elapsed / time.Duration(n)
 		res.IBoxNetImplied = impliedMbps(res.IBoxNetPerPacket)
 	}

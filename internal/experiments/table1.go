@@ -8,6 +8,7 @@ import (
 	"ibox/internal/iboxml"
 	"ibox/internal/iboxnet"
 	"ibox/internal/netsim"
+	"ibox/internal/par"
 	"ibox/internal/sim"
 	"ibox/internal/stats"
 	"ibox/internal/trace"
@@ -95,51 +96,77 @@ func rtcTrace(seed int64, i int, dur sim.Time) *trace.Trace {
 	return tr
 }
 
-// Table1 runs the comparison.
+// Table1 runs the comparison. Each stage fans out over all CPUs: trace
+// generation + cross-traffic estimation per call, the two (independent)
+// model trainings, and per-call evaluation. Every RNG seed is derived
+// from the call index or config before dispatch, so serial and parallel
+// runs produce byte-identical tables.
 func Table1(s Scale) (*Table1Result, error) {
 	n := s.RTCTraces
 	if n < 6 {
 		n = 6
 	}
-	var all []*trace.Trace
-	var cts []*trace.Series
-	for i := 0; i < n; i++ {
+	type call struct {
+		tr *trace.Trace
+		ct *trace.Series
+	}
+	calls, err := par.Map(n, s.Par(), func(i int) (call, error) {
 		tr := rtcTrace(s.Seed, i, s.TraceDur)
-		all = append(all, tr)
 		var ct *trace.Series
 		if params, err := iboxnet.Estimate(tr, iboxnet.EstimatorConfig{}); err == nil {
 			ct = params.CrossTraffic
 		}
-		cts = append(cts, ct)
+		return call{tr, ct}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	all := make([]*trace.Trace, n)
+	cts := make([]*trace.Series, n)
+	for i, c := range calls {
+		all[i], cts[i] = c.tr, c.ct
 	}
 	nTrain := n * 2 / 3
 	var samples []iboxml.TrainingSample
 	for i := 0; i < nTrain; i++ {
 		samples = append(samples, iboxml.TrainingSample{Trace: all[i], CT: cts[i]})
 	}
-	noCT, err := iboxml.Train(samples, iboxml.Config{
-		Hidden: 16, Layers: 2, Epochs: 3 * s.MLEpochs, PrevDelayNoise: 1.0,
-		UseCrossTraffic: false, Seed: s.Seed,
+	useCT := []bool{false, true}
+	models, err := par.Map(len(useCT), s.Par(), func(i int) (*iboxml.Model, error) {
+		m, err := iboxml.Train(samples, iboxml.Config{
+			Hidden: 16, Layers: 2, Epochs: 3 * s.MLEpochs, PrevDelayNoise: 1.0,
+			UseCrossTraffic: useCT[i], Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table1: train (CT=%v): %w", useCT[i], err)
+		}
+		return m, nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("table1: train no-CT: %w", err)
+		return nil, err
 	}
-	withCT, err := iboxml.Train(samples, iboxml.Config{
-		Hidden: 16, Layers: 2, Epochs: 3 * s.MLEpochs, PrevDelayNoise: 1.0,
-		UseCrossTraffic: true, Seed: s.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("table1: train with-CT: %w", err)
-	}
+	noCT, withCT := models[0], models[1]
 
 	res := &Table1Result{Scale: s}
-	for i := nTrain; i < n; i++ {
+	type evalRow struct{ gt, noCT, withCT float64 }
+	evals, err := par.Map(n-nTrain, s.Par(), func(k int) (evalRow, error) {
+		i := nTrain + k
 		gt := all[i]
-		res.GTP95 = append(res.GTP95, gt.DelayPercentile(95))
 		simNo := noCT.SimulateTrace(gt, nil, s.Seed+int64(i))
-		res.NoCTP95 = append(res.NoCTP95, simNo.DelayPercentile(95))
 		simCT := withCT.SimulateTrace(gt, cts[i], s.Seed+int64(i))
-		res.WithCTP95 = append(res.WithCTP95, simCT.DelayPercentile(95))
+		return evalRow{
+			gt:     gt.DelayPercentile(95),
+			noCT:   simNo.DelayPercentile(95),
+			withCT: simCT.DelayPercentile(95),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range evals {
+		res.GTP95 = append(res.GTP95, e.gt)
+		res.NoCTP95 = append(res.NoCTP95, e.noCT)
+		res.WithCTP95 = append(res.WithCTP95, e.withCT)
 	}
 
 	gtS := stats.Summarize(res.GTP95)

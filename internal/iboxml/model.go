@@ -120,8 +120,15 @@ func Train(samples []TrainingSample, cfg Config) (*Model, error) {
 		}
 		if cfg.UseCrossTraffic && s.CT == nil {
 			// WindowFeatures returned 4-dim rows; widen with a zero column.
+			// Each widened row is a fresh copy: append on a full-capacity
+			// slice usually reallocates, but that is an implementation
+			// detail — an explicit copy guarantees the rows shared between
+			// seqs and allX below can never alias a partially-mutated
+			// buffer when scaler fitting reads them.
 			for i := range xs {
-				xs[i] = append(xs[i], 0)
+				row := make([]float64, len(xs[i])+1)
+				copy(row, xs[i])
+				xs[i] = row
 			}
 		}
 		seqs = append(seqs, seq{xs, ys, mask})

@@ -22,6 +22,7 @@ import (
 
 	"ibox/internal/cc"
 	"ibox/internal/netsim"
+	"ibox/internal/par"
 	"ibox/internal/sim"
 	"ibox/internal/trace"
 )
@@ -240,21 +241,40 @@ type Corpus struct {
 }
 
 // Generate samples n instances of the profile and runs the given protocol
-// over each, producing the training/evaluation corpus.
+// over each, producing the training/evaluation corpus. Instance runs fan
+// out over all CPUs; see GenerateOpts for the execution knob.
 func Generate(pr Profile, n int, protocol string, dur sim.Time, seed int64) (*Corpus, error) {
+	return GenerateOpts(pr, n, protocol, dur, seed, par.Options{})
+}
+
+// GenerateOpts is Generate with explicit execution options. Sampling and
+// running instance i is deterministic in (profile, seed, i) — each
+// instance builds its own scheduler and RNG streams — so serial and
+// parallel generation produce byte-identical corpora.
+func GenerateOpts(pr Profile, n int, protocol string, dur sim.Time, seed int64, opts par.Options) (*Corpus, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("pantheon: need n > 0, got %d", n)
 	}
 	c := &Corpus{Profile: pr, Protocol: protocol, Duration: dur}
-	for i := 0; i < n; i++ {
+	type sampled struct {
+		inst Instance
+		tr   *trace.Trace
+	}
+	rows, err := par.Map(n, opts, func(i int) (sampled, error) {
 		inst := pr.Sample(seed, i)
 		tr, err := inst.Run(protocol, dur, int64(i))
 		if err != nil {
-			return nil, fmt.Errorf("pantheon: instance %d: %w", i, err)
+			return sampled{}, fmt.Errorf("pantheon: instance %d: %w", i, err)
 		}
 		tr.Protocol = protocol
-		c.Instances = append(c.Instances, inst)
-		c.Traces = append(c.Traces, tr)
+		return sampled{inst, tr}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		c.Instances = append(c.Instances, row.inst)
+		c.Traces = append(c.Traces, row.tr)
 	}
 	return c, nil
 }

@@ -1,0 +1,143 @@
+// Package par is the repository's deterministic fan-out primitive: a
+// bounded worker pool that applies a function to every index of a work
+// list and collects the results in input order.
+//
+// The paper's workloads — fit one iBoxNet per trace, train per-trace
+// iBoxML models, replay counterfactual protocols over each (§3–§5) — are
+// embarrassingly parallel across traces, but reproducibility is
+// non-negotiable: an experiment must produce byte-identical output
+// whether it runs on one core or sixty-four. par makes that contract
+// structural rather than accidental:
+//
+//   - results land at out[i] for input i, so collection order never
+//     depends on goroutine scheduling;
+//   - work items must not share mutable state — in this repository every
+//     stochastic component derives its RNG from an explicit (seed,
+//     stream) pair (see sim.NewRand), and callers derive each item's
+//     seed from its index *before* dispatch;
+//   - on failure the error of the lowest-index failing item is returned,
+//     which is the same error a serial loop would have stopped at,
+//     because dispatch is in input order (any item preceding a failure
+//     has already been dispatched and runs to completion).
+//
+// The Serial and Workers knobs exist so experiments can assert
+// serial ≡ parallel equality in tests and so benchmarks can measure the
+// speedup rather than claim it.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Options control how a fan-out executes. The zero value is the default:
+// parallel with one worker per available CPU.
+type Options struct {
+	// Serial forces in-place execution on the calling goroutine (exactly
+	// equivalent to a plain loop). It exists for A/B determinism tests
+	// and benchmarks; results are identical either way.
+	Serial bool
+	// Workers bounds the number of concurrent goroutines. Zero or
+	// negative selects runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// WorkersFor resolves the effective worker count for n work items.
+func (o Options) WorkersFor(n int) int {
+	if o.Serial {
+		return 1
+	}
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map applies fn to every index in [0, n) with bounded parallelism and
+// returns the results in input order: out[i] = fn(i). If any call fails,
+// Map returns a nil slice and the error of the lowest failing index —
+// the same error a serial loop would surface, since dispatch is in input
+// order and in-flight items run to completion. After a failure no new
+// items are dispatched.
+func Map[R any](n int, opts Options, fn func(i int) (R, error)) ([]R, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]R, n)
+	workers := opts.WorkersFor(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	type failure struct {
+		idx int
+		err error
+	}
+	idxCh := make(chan int)
+	// Buffered so workers never block reporting: each sends at most one
+	// failure before exiting.
+	failCh := make(chan failure, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				r, err := fn(i)
+				if err != nil {
+					failCh <- failure{i, err}
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+
+	failed := false
+	var first failure
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case idxCh <- i:
+		case f := <-failCh:
+			failed, first = true, f
+			break dispatch
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	close(failCh)
+	for f := range failCh {
+		if !failed || f.idx < first.idx {
+			failed, first = true, f
+		}
+	}
+	if failed {
+		return nil, first.err
+	}
+	return out, nil
+}
+
+// ForEach is Map without result collection: it applies fn to every index
+// in [0, n) and returns the lowest-index error, if any. fn typically
+// writes into caller-owned, index-disjoint storage.
+func ForEach(n int, opts Options, fn func(i int) error) error {
+	_, err := Map(n, opts, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

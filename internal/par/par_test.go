@@ -1,0 +1,160 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ibox/internal/sim"
+)
+
+// TestMapOrder verifies results land at their input index regardless of
+// completion order (later items finish first via decreasing sleeps).
+func TestMapOrder(t *testing.T) {
+	n := 32
+	out, err := Map(n, Options{Workers: 8}, func(i int) (int, error) {
+		time.Sleep(time.Duration(n-i) * time.Millisecond / 4)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d results, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapSerialParallelIdentical is the package's core contract: with
+// per-index derived seeds, serial and parallel runs are byte-identical.
+func TestMapSerialParallelIdentical(t *testing.T) {
+	work := func(i int) (float64, error) {
+		// Seed derived from the index before dispatch — the repository's
+		// seed-derivation rule.
+		rng := sim.NewRand(42, int64(i))
+		s := 0.0
+		for k := 0; k < 100; k++ {
+			s += rng.Float64()
+		}
+		return s, nil
+	}
+	serial, err := Map(64, Options{Serial: true}, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 64} {
+		parallel, err := Map(64, Options{Workers: w}, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", w, i, parallel[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestMapLowestIndexError verifies the error contract: the returned error
+// is the one a serial loop would have stopped at.
+func TestMapLowestIndexError(t *testing.T) {
+	for _, opts := range []Options{{Serial: true}, {Workers: 4}, {Workers: 16}} {
+		out, err := Map(40, opts, func(i int) (int, error) {
+			if i == 7 || i == 23 {
+				// The higher index fails faster; lowest must still win.
+				if i == 7 {
+					time.Sleep(20 * time.Millisecond)
+				}
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return i, nil
+		})
+		if out != nil {
+			t.Errorf("opts=%+v: expected nil results on error", opts)
+		}
+		if err == nil || err.Error() != "item 7 failed" {
+			t.Errorf("opts=%+v: err = %v, want item 7's", opts, err)
+		}
+	}
+}
+
+// TestMapBoundedConcurrency verifies the pool never exceeds Workers
+// simultaneous calls.
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(24, Options{Workers: workers}, func(i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds Workers=%d", p, workers)
+	}
+}
+
+// TestForEach verifies index-disjoint writes and error propagation.
+func TestForEach(t *testing.T) {
+	out := make([]int, 50)
+	if err := ForEach(50, Options{Workers: 5}, func(i int) error {
+		out[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Errorf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+	sentinel := errors.New("boom")
+	if err := ForEach(10, Options{Workers: 2}, func(i int) error {
+		if i >= 4 {
+			return sentinel
+		}
+		return nil
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want %v", err, sentinel)
+	}
+}
+
+// TestMapEmpty covers the degenerate sizes.
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, Options{}, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Errorf("n=0: got (%v, %v), want (nil, nil)", out, err)
+	}
+	out, err = Map(1, Options{Workers: 8}, func(i int) (int, error) { return 9, nil })
+	if err != nil || len(out) != 1 || out[0] != 9 {
+		t.Errorf("n=1: got (%v, %v)", out, err)
+	}
+}
+
+// TestWorkersFor pins the knob semantics.
+func TestWorkersFor(t *testing.T) {
+	if w := (Options{Serial: true, Workers: 16}).WorkersFor(100); w != 1 {
+		t.Errorf("Serial: workers = %d, want 1", w)
+	}
+	if w := (Options{Workers: 4}).WorkersFor(2); w != 2 {
+		t.Errorf("n<workers: workers = %d, want 2", w)
+	}
+	if w := (Options{Workers: -3}).WorkersFor(8); w < 1 {
+		t.Errorf("negative Workers resolved to %d", w)
+	}
+}
