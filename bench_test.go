@@ -33,6 +33,8 @@ import (
 	"ibox/internal/iboxnet"
 	"ibox/internal/netsim"
 	"ibox/internal/nn"
+	"ibox/internal/obs"
+	"ibox/internal/par"
 	"ibox/internal/sim"
 	"ibox/internal/trace"
 )
@@ -404,6 +406,40 @@ func BenchmarkRealism(b *testing.B) {
 		if i == 0 {
 			b.Logf("\n%s", r)
 		}
+	}
+}
+
+// BenchmarkParMapObserved measures the observability layer's overhead on
+// the fan-out hot path: the same par.Map workload with the obs registry
+// disabled (the default: no clock reads, no atomics) and enabled (queue
+// wait + per-item histograms). Run with -benchmem: the disabled mode must
+// not allocate on behalf of obs, and the enabled/disabled gap is the whole
+// cost of instrumentation.
+func BenchmarkParMapObserved(b *testing.B) {
+	const items = 64
+	work := func(i int) (int, error) {
+		v := i
+		for j := 0; j < 2000; j++ {
+			v = v*1664525 + 1013904223
+		}
+		return v, nil
+	}
+	for _, mode := range []struct {
+		name   string
+		enable bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			if mode.enable {
+				obs.Enable()
+				defer obs.Disable()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := par.Map(items, par.Options{Workers: 4}, work); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -24,17 +24,22 @@ import (
 	"time"
 
 	"ibox/internal/experiments"
+	"ibox/internal/obs"
 )
 
 // Measurement is one (benchmark, mode) timing: the minimum over reps of
-// one full experiment run, in the style of go test -bench ns/op.
+// one full experiment run, in the style of go test -bench ns/op, plus the
+// distribution of per-item fan-out latencies across all reps (from the
+// par.item_ns histogram of a per-measurement obs registry).
 type Measurement struct {
-	Name    string  `json:"name"`
-	Mode    string  `json:"mode"` // "serial" or "parallel"
-	Workers int     `json:"workers"`
-	NsPerOp int64   `json:"ns_per_op"`
-	Seconds float64 `json:"seconds"`
-	Reps    int     `json:"reps"`
+	Name        string                `json:"name"`
+	Mode        string                `json:"mode"` // "serial" or "parallel"
+	Workers     int                   `json:"workers"`
+	GoMaxProcs  int                   `json:"gomaxprocs"`
+	NsPerOp     int64                 `json:"ns_per_op"`
+	Seconds     float64               `json:"seconds"`
+	Reps        int                   `json:"reps"`
+	ItemLatency *obs.HistogramSummary `json:"item_latency,omitempty"`
 }
 
 // Summary is the BENCH_parallel.json schema.
@@ -101,6 +106,9 @@ func main() {
 			if !m.serial {
 				workers = runtime.GOMAXPROCS(0)
 			}
+			// A fresh registry per measurement so the par.item_ns
+			// histogram covers exactly this (benchmark, mode)'s reps.
+			reg := obs.Enable()
 			var min time.Duration
 			for r := 0; r < *reps; r++ {
 				start := time.Now()
@@ -111,13 +119,25 @@ func main() {
 					min = d
 				}
 			}
+			obs.Disable()
 			best[b.name][m.mode] = min
-			sum.Benchmarks = append(sum.Benchmarks, Measurement{
+			meas := Measurement{
 				Name: b.name, Mode: m.mode, Workers: workers,
-				NsPerOp: min.Nanoseconds(), Seconds: min.Seconds(), Reps: *reps,
-			})
-			fmt.Printf("%-14s %-8s %12d ns/op  (%.2fs, workers=%d)\n",
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				NsPerOp:    min.Nanoseconds(), Seconds: min.Seconds(), Reps: *reps,
+			}
+			if h := reg.Histogram(obs.MetricParItemNs); h.Count() > 0 {
+				summ := h.Summary()
+				meas.ItemLatency = &summ
+			}
+			sum.Benchmarks = append(sum.Benchmarks, meas)
+			fmt.Printf("%-14s %-8s %12d ns/op  (%.2fs, workers=%d",
 				b.name, m.mode, min.Nanoseconds(), min.Seconds(), workers)
+			if meas.ItemLatency != nil {
+				fmt.Printf(", item p50=%.1fms p99=%.1fms",
+					meas.ItemLatency.P50/1e6, meas.ItemLatency.P99/1e6)
+			}
+			fmt.Printf(")\n")
 		}
 		if p := best[b.name]["parallel"]; p > 0 {
 			speedup := float64(best[b.name]["serial"]) / float64(p)

@@ -9,21 +9,51 @@
 //	ibox-experiments -run all -parallel        # run the figures concurrently
 //	ibox-experiments -run all -serial          # single-goroutine reference mode
 //
+// Observability (see internal/obs and DESIGN.md's Observability section):
+//
+//	ibox-experiments -run fig2 -report RUN_REPORT.json  # per-stage timings, worker
+//	                                                    # utilization, histograms
+//	ibox-experiments -run all -trace-out trace.json     # chrome://tracing / Perfetto
+//	ibox-experiments -run all -scale paper -debug-addr :6060  # live expvar + pprof
+//
 // Results are deterministic in the seed: serial and parallel runs print
-// byte-identical experiment output (only timings differ).
+// byte-identical experiment output (only timings differ), and enabling
+// observability never changes any experiment output.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"ibox/internal/experiments"
+	"ibox/internal/obs"
 	"ibox/internal/par"
 )
+
+// serveDebug exposes expvar (including the live obs metric snapshot) and
+// net/http/pprof on addr, in the standard /debug/... layout.
+func serveDebug(addr string, reg *obs.Registry) {
+	expvar.Publish("ibox.obs", expvar.Func(func() any { return reg.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("debug server: %v", err)
+		}
+	}()
+}
 
 // plotter is implemented by results that can emit CSV plot series.
 type plotter interface {
@@ -41,10 +71,25 @@ func main() {
 		parallel  = flag.Bool("parallel", false, "run the selected experiments concurrently (results print in the usual order)")
 		serial    = flag.Bool("serial", false, "disable all intra-experiment parallelism (single goroutine; byte-identical results)")
 		workers   = flag.Int("workers", 0, "bound the fan-out width; 0 = one worker per CPU")
+		report    = flag.String("report", "", "write a structured end-of-run report (RUN_REPORT.json) to this path")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this path")
+		debugAddr = flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. :6060) while running")
 	)
 	flag.Parse()
 	if *parallel && *serial {
 		log.Fatalf("-parallel and -serial are mutually exclusive")
+	}
+
+	// Any observability output requested enables the layer; otherwise it
+	// stays disabled and the pipeline runs exactly as before (no clock
+	// reads, no atomics — see internal/obs).
+	var reg *obs.Registry
+	if *report != "" || *traceOut != "" || *debugAddr != "" {
+		reg = obs.Enable()
+	}
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, reg)
+		log.Printf("serving expvar and pprof on http://%s/debug/", *debugAddr)
 	}
 
 	var scale experiments.Scale
@@ -124,6 +169,29 @@ func main() {
 					failed = true
 				}
 			}
+		}
+	}
+	if *report != "" {
+		if err := reg.WriteReport(*report); err != nil {
+			log.Printf("%v", err)
+			failed = true
+		} else {
+			log.Printf("wrote %s", *report)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = reg.TraceJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			log.Printf("writing trace: %v", err)
+			failed = true
+		} else {
+			log.Printf("wrote %s (open in chrome://tracing or https://ui.perfetto.dev)", *traceOut)
 		}
 	}
 	if failed {

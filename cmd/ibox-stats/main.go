@@ -1,11 +1,13 @@
 // Command ibox-stats summarizes a trace file: throughput, delay
 // percentiles, jitter, loss structure, reordering, burstiness and delay
 // autocorrelation — the quick look a practitioner takes before feeding a
-// trace to iboxfit/iboxml.
+// trace to iboxfit/iboxml. It also pretty-prints the structured run
+// report that ibox-experiments -report writes (see internal/obs).
 //
 // Usage:
 //
 //	ibox-stats -trace corpus/cubic-000.json
+//	ibox-stats -report RUN_REPORT.json
 package main
 
 import (
@@ -13,7 +15,9 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 
+	"ibox/internal/obs"
 	"ibox/internal/sim"
 	"ibox/internal/trace"
 )
@@ -22,9 +26,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ibox-stats: ")
 	tracePath := flag.String("trace", "", "trace file (JSON)")
+	reportPath := flag.String("report", "", "run report (RUN_REPORT.json from ibox-experiments -report)")
 	flag.Parse()
-	if *tracePath == "" {
-		log.Fatal("-trace is required")
+	if (*tracePath == "") == (*reportPath == "") {
+		log.Fatal("exactly one of -trace or -report is required")
+	}
+	if *reportPath != "" {
+		rep, err := obs.LoadReport(*reportPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printReport(*reportPath, rep)
+		return
 	}
 	tr, err := trace.LoadJSON(*tracePath)
 	if err != nil {
@@ -69,4 +82,112 @@ func main() {
 		tr.DelayAutocorrelation(100*sim.Millisecond, 1),
 		tr.DelayAutocorrelation(100*sim.Millisecond, 5),
 		tr.DelayAutocorrelation(100*sim.Millisecond, 20))
+}
+
+// printReport renders a RUN_REPORT.json as aligned text tables.
+func printReport(path string, rep *obs.Report) {
+	fmt.Printf("report:      %s (generated %s)\n", path, rep.GeneratedAt)
+	fmt.Printf("wall:        %.2fs on GOMAXPROCS=%d\n", rep.WallSeconds, rep.GoMaxProcs)
+	fmt.Printf("utilization: %.1f%% of fan-out worker capacity busy\n", rep.WorkerUtilization*100)
+
+	if len(rep.Stages) > 0 {
+		t := newTextTable("stage", "start", "wall", "items", "args")
+		for _, s := range rep.Stages {
+			items := ""
+			if s.Items > 0 {
+				items = fmt.Sprintf("%d", s.Items)
+			}
+			var args []string
+			for _, k := range sortedKeys(s.Args) {
+				args = append(args, k+"="+s.Args[k])
+			}
+			t.add(strings.Repeat("  ", s.Depth)+s.Name,
+				fmt.Sprintf("%.0fms", s.StartMs),
+				fmt.Sprintf("%.3fs", s.Seconds),
+				items, strings.Join(args, " "))
+		}
+		fmt.Printf("\nstages:\n%s", t)
+	}
+
+	if len(rep.Histograms) > 0 {
+		t := newTextTable("histogram", "count", "mean", "p50", "p90", "p99", "max")
+		for _, name := range sortedKeys(rep.Histograms) {
+			h := rep.Histograms[name]
+			t.add(name, fmt.Sprintf("%d", h.Count),
+				ms(h.Mean), ms(h.P50), ms(h.P90), ms(h.P99), ms(h.Max))
+		}
+		fmt.Printf("\nhistograms (ns observations, shown in ms):\n%s", t)
+	}
+
+	if len(rep.Counters) > 0 {
+		t := newTextTable("counter", "value")
+		for _, name := range sortedKeys(rep.Counters) {
+			t.add(name, fmt.Sprintf("%d", rep.Counters[name]))
+		}
+		fmt.Printf("\ncounters:\n%s", t)
+	}
+	if len(rep.Gauges) > 0 {
+		t := newTextTable("gauge", "value")
+		for _, name := range sortedKeys(rep.Gauges) {
+			t.add(name, fmt.Sprintf("%g", rep.Gauges[name]))
+		}
+		fmt.Printf("\ngauges:\n%s", t)
+	}
+}
+
+// ms renders a nanosecond quantity as milliseconds.
+func ms(ns float64) string {
+	return fmt.Sprintf("%.3fms", ns/1e6)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// textTable accumulates rows and renders them column-aligned.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func newTextTable(header ...string) *textTable {
+	return &textTable{header: header}
+}
+
+func (t *textTable) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *textTable) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
 }

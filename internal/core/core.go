@@ -8,9 +8,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ibox/internal/cc"
 	"ibox/internal/iboxnet"
+	"ibox/internal/obs"
 	"ibox/internal/pantheon"
 	"ibox/internal/par"
 	"ibox/internal/sim"
@@ -126,6 +128,13 @@ func EnsembleTestOpts(corpus *pantheon.Corpus, treatment string, variant iboxnet
 		Variant:   variant,
 		KS:        map[string]stats.KSResult{},
 	}
+	// Per-trace fit and replay latencies; nil no-op handles when
+	// observability is disabled (hoisted out of the fan-out).
+	reg := obs.Get()
+	fitHist := reg.Histogram("core.fit_ns")
+	replayHist := reg.Histogram("core.replay_ns")
+	reg.Counter("core.ensemble_tests").Add(1)
+	reg.Counter("core.ensemble_traces").Add(int64(len(corpus.Traces)))
 	type perTrace struct {
 		gtControl, gtTreatment, simControl, simTreatment Metrics
 	}
@@ -135,15 +144,27 @@ func EnsembleTestOpts(corpus *pantheon.Corpus, treatment string, variant iboxnet
 		var row perTrace
 		row.gtControl = MetricsOf(tr)
 
+		var t0 time.Time
+		if replayHist != nil {
+			t0 = time.Now()
+		}
 		gtB, err := inst.Run(treatment, dur, seed+int64(i))
 		if err != nil {
 			return row, fmt.Errorf("core: GT treatment on %s: %w", inst.ID, err)
 		}
+		replayHist.ObserveSince(t0)
 		row.gtTreatment = MetricsOf(gtB)
 
+		if fitHist != nil {
+			t0 = time.Now()
+		}
 		model, err := Fit(tr, variant)
 		if err != nil {
 			return row, fmt.Errorf("core: fit on %s: %w", inst.ID, err)
+		}
+		fitHist.ObserveSince(t0)
+		if replayHist != nil {
+			t0 = time.Now()
 		}
 		simA, err := model.Run(corpus.Protocol, dur, seed+int64(i)*2+1)
 		if err != nil {
@@ -154,6 +175,8 @@ func EnsembleTestOpts(corpus *pantheon.Corpus, treatment string, variant iboxnet
 		if err != nil {
 			return row, err
 		}
+		// One observation covers both model replays (control + treatment).
+		replayHist.ObserveSince(t0)
 		row.simTreatment = MetricsOf(simB)
 		return row, nil
 	})

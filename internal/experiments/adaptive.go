@@ -7,6 +7,7 @@ import (
 	"ibox/internal/cc"
 	"ibox/internal/iboxnet"
 	"ibox/internal/netsim"
+	"ibox/internal/obs"
 	"ibox/internal/sim"
 	"ibox/internal/stats"
 	"ibox/internal/trace"
@@ -58,6 +59,8 @@ func adaptiveGT(sender cc.Sender, dur sim.Time, seed int64) *trace.Trace {
 
 // AdaptiveCT runs the extension study.
 func AdaptiveCT(s Scale) (*AdaptiveResult, error) {
+	sp := obs.StartSpan("adaptive")
+	defer sp.End()
 	dur := s.TraceDur
 	if dur < 30*sim.Second {
 		dur = 30 * sim.Second // the burst needs room to dominate dynamics

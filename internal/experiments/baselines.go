@@ -7,6 +7,7 @@ import (
 	"ibox/internal/cc"
 	"ibox/internal/core"
 	"ibox/internal/iboxnet"
+	"ibox/internal/obs"
 	"ibox/internal/pantheon"
 	"ibox/internal/replay"
 	"ibox/internal/sim"
@@ -35,10 +36,18 @@ type BaselinesResult struct {
 
 // Baselines runs the comparison.
 func Baselines(s Scale) (*BaselinesResult, error) {
+	sp := obs.StartSpan("baselines")
+	defer sp.End()
+	gen := sp.Start("generate")
+	gen.SetItems(s.EnsembleTraces)
 	corpus, err := pantheon.Generate(pantheon.IndiaCellular(), s.EnsembleTraces, "cubic", s.TraceDur, s.Seed)
+	gen.End()
 	if err != nil {
 		return nil, err
 	}
+	eval := sp.Start("evaluate")
+	eval.SetItems(len(corpus.Traces))
+	defer eval.End()
 	res := &BaselinesResult{Scale: s}
 	var gtP95, netP95, repP95 []float64
 	var gtT, netT, repT []float64

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"ibox/internal/obs"
 	"ibox/internal/sim"
 )
 
@@ -82,6 +83,63 @@ func TestTable1SerialParallelIdentical(t *testing.T) {
 				i, rs.GTP95[i], rs.NoCTP95[i], rs.WithCTP95[i],
 				rp.GTP95[i], rp.NoCTP95[i], rp.WithCTP95[i])
 		}
+	}
+}
+
+// TestFig2ObservedIdentical is the observability half of the determinism
+// contract (see internal/obs): enabling metrics and spans must not change
+// any experiment output. The instrumentation only ever writes clock
+// readings into obs state — nothing reads them back into the pipeline —
+// so an observed run is byte-identical to an unobserved one.
+func TestFig2ObservedIdentical(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("obs registry unexpectedly installed at test start")
+	}
+	plain, err := Fig2(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Enable()
+	defer obs.Disable()
+	observed, err := Fig2(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := observed.String(), plain.String(); got != want {
+		t.Errorf("observed Fig2 output differs from unobserved:\n--- unobserved ---\n%s\n--- observed ---\n%s", want, got)
+	}
+	// The run must actually have been observed, or this test proves
+	// nothing.
+	if n := obs.Get().Counter("pantheon.traces").Value(); n == 0 {
+		t.Error("observed run recorded no pantheon.traces — instrumentation not active?")
+	}
+	if len(obs.Get().BuildReport().Stages) == 0 {
+		t.Error("observed run recorded no stages")
+	}
+}
+
+// TestTable1ObservedIdentical proves the same over the iBoxML training
+// pipeline, whose instrumentation (per-epoch loss gauges and timings)
+// sits inside the training loop itself.
+func TestTable1ObservedIdentical(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("obs registry unexpectedly installed at test start")
+	}
+	plain, err := Table1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Enable()
+	defer obs.Disable()
+	observed, err := Table1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := observed.String(), plain.String(); got != want {
+		t.Errorf("observed Table1 output differs from unobserved:\n--- unobserved ---\n%s\n--- observed ---\n%s", want, got)
+	}
+	if n := obs.Get().Counter("iboxml.epochs").Value(); n == 0 {
+		t.Error("observed run recorded no iboxml.epochs — instrumentation not active?")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"ibox/internal/core"
 	"ibox/internal/iboxnet"
+	"ibox/internal/obs"
 	"ibox/internal/pantheon"
 	"ibox/internal/stats"
 )
@@ -39,15 +40,26 @@ func summarizeGroup(ms []core.Metrics) groupSummary {
 // cellular paths trains one iBoxNet per trace; Cubic and the never-seen
 // Vegas run on each model and are compared against ground truth.
 func Fig2(s Scale) (*Fig2Result, error) {
+	sp := obs.StartSpan("fig2")
+	defer sp.End()
+
+	gen := sp.Start("generate")
+	gen.SetItems(s.EnsembleTraces)
+	gen.SetArg("profile", "india-cellular")
 	corpus, err := pantheon.GenerateOpts(pantheon.IndiaCellular(), s.EnsembleTraces, "cubic", s.TraceDur, s.Seed, s.Par())
+	gen.End()
 	if err != nil {
 		return nil, err
 	}
-	ens, err := core.EnsembleTestOpts(corpus, "vegas", iboxnet.Full, s.TraceDur, s.Seed+100, s.Par())
+
+	ens := sp.Start("ensemble")
+	ens.SetItems(s.EnsembleTraces)
+	res, err := core.EnsembleTestOpts(corpus, "vegas", iboxnet.Full, s.TraceDur, s.Seed+100, s.Par())
+	ens.End()
 	if err != nil {
 		return nil, err
 	}
-	return &Fig2Result{Ensemble: ens, Scale: s}, nil
+	return &Fig2Result{Ensemble: res, Scale: s}, nil
 }
 
 // Groups returns the four plotted groups in the paper's order.

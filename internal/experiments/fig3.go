@@ -6,6 +6,7 @@ import (
 
 	"ibox/internal/core"
 	"ibox/internal/iboxnet"
+	"ibox/internal/obs"
 	"ibox/internal/pantheon"
 	"ibox/internal/par"
 )
@@ -27,15 +28,26 @@ type Fig3Result struct {
 // variant ensemble tests are independent given the corpus, so they fan
 // out alongside the per-trace parallelism inside each test.
 func Fig3(s Scale) (*Fig3Result, error) {
+	sp := obs.StartSpan("fig3")
+	defer sp.End()
+
+	gen := sp.Start("generate")
+	gen.SetItems(s.EnsembleTraces)
 	corpus, err := pantheon.GenerateOpts(pantheon.IndiaCellular(), s.EnsembleTraces, "cubic", s.TraceDur, s.Seed, s.Par())
+	gen.End()
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig3Result{Scale: s}
 	variants := []iboxnet.Variant{iboxnet.Full, iboxnet.NoCT, iboxnet.StatLoss}
+	ab := sp.Start("ablations")
+	ab.SetItems(len(variants))
 	ensembles, err := par.Map(len(variants), s.Par(), func(i int) (*core.EnsembleResult, error) {
+		vsp := sp.Start("ensemble(" + variants[i].String() + ")")
+		defer vsp.End()
 		return core.EnsembleTestOpts(corpus, "vegas", variants[i], s.TraceDur, s.Seed+100, s.Par())
 	})
+	ab.End()
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"ibox/internal/core"
 	"ibox/internal/iboxnet"
 	"ibox/internal/netsim"
+	"ibox/internal/obs"
 	"ibox/internal/sim"
 	"ibox/internal/stats"
 	"ibox/internal/trace"
@@ -109,6 +110,8 @@ func normalize(v []float64) {
 // 20–30 s or 40–50 s (shorter bursts blur the instances' correlation
 // signatures and clustering degrades); only RunsPerPattern scales.
 func Fig4(s Scale) (*Fig4Result, error) {
+	sp := obs.StartSpan("fig4")
+	defer sp.End()
 	dur := 60 * sim.Second
 	burst := 10 * sim.Second
 	offsets := [3]sim.Time{0, 2 * burst, 4 * burst}
@@ -118,6 +121,8 @@ func Fig4(s Scale) (*Fig4Result, error) {
 	jit := func() sim.Time { return sim.Time(rng.Float64() * float64(40*sim.Millisecond)) }
 
 	// Learn one iBoxNet model per instance from a single Cubic run.
+	fit := sp.Start("fit-instances")
+	fit.SetItems(3)
 	models := make([]*core.Model, 3)
 	gtCubic := make([]*trace.Trace, 3)
 	for k := 0; k < 3; k++ {
@@ -129,7 +134,10 @@ func Fig4(s Scale) (*Fig4Result, error) {
 		}
 		models[k] = m
 	}
+	fit.End()
 
+	runs4 := sp.Start("runs")
+	runs4.SetItems(3 * 2 * s.RunsPerPattern)
 	// Fig 4(a): the model replays Cubic; its rate series must align with GT.
 	step := 200 * sim.Millisecond
 	for k := 0; k < 3; k++ {
@@ -165,6 +173,10 @@ func Fig4(s Scale) (*Fig4Result, error) {
 		}
 	}
 
+	runs4.End()
+
+	cluster := sp.Start("cluster")
+	defer cluster.End()
 	// Features: cross-correlation of each run's rate and delay series
 	// against the per-instance GT reference runs (§3.1.2), normalized to
 	// unit length so pattern identity rather than correlation magnitude

@@ -7,6 +7,7 @@ import (
 	"ibox/internal/core"
 	"ibox/internal/iboxml"
 	"ibox/internal/iboxnet"
+	"ibox/internal/obs"
 	"ibox/internal/pantheon"
 	"ibox/internal/par"
 	"ibox/internal/sim"
@@ -35,8 +36,14 @@ type reorderPipeline struct {
 // training split, and produces every simulated trace set for the test
 // split.
 func runReorderPipeline(s Scale) (*reorderPipeline, error) {
+	sp := obs.StartSpan("reorder-pipeline")
+	defer sp.End()
 	total := s.TrainTraces + s.TestTraces
+	gen := sp.Start("generate")
+	gen.SetItems(total)
+	gen.SetArg("profile", "cellular-reorder")
 	corpus, err := pantheon.GenerateOpts(pantheon.CellularReorder(), total, "vegas", s.TraceDur, s.Seed+7, s.Par())
+	gen.End()
 	if err != nil {
 		return nil, err
 	}
@@ -45,6 +52,8 @@ func runReorderPipeline(s Scale) (*reorderPipeline, error) {
 
 	// Training samples with cross-traffic estimates from §3's estimator,
 	// estimated per trace in parallel.
+	est := sp.Start("estimate")
+	est.SetItems(len(train.Traces))
 	samples, err := par.Map(len(train.Traces), s.Par(), func(i int) (iboxml.TrainingSample, error) {
 		tr := train.Traces[i]
 		var ct *trace.Series
@@ -53,12 +62,15 @@ func runReorderPipeline(s Scale) (*reorderPipeline, error) {
 		}
 		return iboxml.TrainingSample{Trace: tr, CT: ct}, nil
 	})
+	est.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// The three model trainings are independent (each owns its seed) and
 	// run concurrently; each writes only its own slot.
+	tsp := sp.Start("train")
+	tsp.SetItems(3)
 	var delayModel *iboxml.Model
 	var lstmPred, linPred iboxml.ReorderPredictor
 	if err := par.ForEach(3, s.Par(), func(i int) error {
@@ -86,11 +98,16 @@ func runReorderPipeline(s Scale) (*reorderPipeline, error) {
 		}
 		return nil
 	}); err != nil {
+		tsp.End()
 		return nil, err
 	}
+	tsp.End()
 
 	// Per-test-trace fit + replay + augmentation: independent across
 	// traces, all seeds derived from the trace index before dispatch.
+	eval := sp.Start("evaluate")
+	eval.SetItems(len(test.Traces))
+	defer eval.End()
 	type testRow struct {
 		net, lstm, lin, ml *trace.Trace
 	}
@@ -150,6 +167,8 @@ var Fig5Curves = []string{"ground-truth", "iboxml", "iboxnet+lstm", "iboxnet+lin
 
 // Fig5 runs the reordering comparison.
 func Fig5(s Scale) (*Fig5Result, error) {
+	sp := obs.StartSpan("fig5")
+	defer sp.End()
 	p, err := runReorderPipeline(s)
 	if err != nil {
 		return nil, err

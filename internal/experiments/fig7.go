@@ -8,6 +8,7 @@ import (
 	"ibox/internal/iboxml"
 	"ibox/internal/iboxnet"
 	"ibox/internal/netsim"
+	"ibox/internal/obs"
 	"ibox/internal/par"
 	"ibox/internal/sim"
 	"ibox/internal/trace"
@@ -75,6 +76,8 @@ func fig7Run(sender cc.Sender, ctRate float64, onDur, offDur sim.Time, dur sim.T
 
 // Fig7 runs the control-loop-bias experiment.
 func Fig7(s Scale) (*Fig7Result, error) {
+	sp := obs.StartSpan("fig7")
+	defer sp.End()
 	rng := sim.NewRand(s.Seed, 404)
 	// Training: RTC flows under varying bursty CT (30–110% of capacity
 	// while on, so queues genuinely build during bursts). The burst
@@ -96,6 +99,8 @@ func Fig7(s Scale) (*Fig7Result, error) {
 		bursts[i].on = sim.Time(1+rng.Intn(3)) * sim.Second
 		bursts[i].off = sim.Time(1+rng.Intn(3)) * sim.Second
 	}
+	gen := sp.Start("generate")
+	gen.SetItems(nTrain)
 	samples, err := par.Map(nTrain, s.Par(), func(i int) (iboxml.TrainingSample, error) {
 		// MinRate models a conferencing app's sustained floor (audio + base
 		// video layer); it also keeps the probe stream dense enough for the
@@ -111,6 +116,7 @@ func Fig7(s Scale) (*Fig7Result, error) {
 		}
 		return iboxml.TrainingSample{Trace: tr, CT: ct}, nil
 	})
+	gen.End()
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +125,8 @@ func Fig7(s Scale) (*Fig7Result, error) {
 	// features; see iboxml.Config.PrevDelayNoise. The two trainings are
 	// independent and run concurrently.
 	useCT := []bool{false, true}
+	tsp := sp.Start("train")
+	tsp.SetItems(len(useCT))
 	models, err := par.Map(len(useCT), s.Par(), func(i int) (*iboxml.Model, error) {
 		m, err := iboxml.Train(samples, iboxml.Config{
 			Hidden: 16, Layers: 2, Epochs: 10 * s.MLEpochs, PrevDelayNoise: 1.0,
@@ -129,6 +137,7 @@ func Fig7(s Scale) (*Fig7Result, error) {
 		}
 		return m, nil
 	})
+	tsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +147,9 @@ func Fig7(s Scale) (*Fig7Result, error) {
 	// including levels that overload the bottleneck while on. Levels are
 	// independent; per-level delay slices concatenate in level order.
 	ctLevels := []float64{0, 500_000, 937_500} // 0 / 4 / 7.5 Mbps during bursts
+	eval := sp.Start("evaluate")
+	eval.SetItems(len(ctLevels))
+	defer eval.End()
 	type levelRow struct {
 		gt, noCT, withCT []float64
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"ibox/internal/obs"
 	"ibox/internal/sax"
 	"ibox/internal/trace"
 )
@@ -31,10 +32,14 @@ type Fig8Result struct {
 
 // Fig8 runs behaviour discovery on the reordering corpus.
 func Fig8(s Scale) (*Fig8Result, error) {
+	sp := obs.StartSpan("fig8")
+	defer sp.End()
 	p, err := runReorderPipeline(s)
 	if err != nil {
 		return nil, err
 	}
+	sym := sp.Start("symbolize")
+	defer sym.End()
 	// Fit the symbolizer on ground-truth inter-arrivals (the domain
 	// transform of §5.1: Δᵢ over the test traces).
 	var ref []float64

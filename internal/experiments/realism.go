@@ -8,6 +8,7 @@ import (
 	"ibox/internal/core"
 	"ibox/internal/iboxnet"
 	"ibox/internal/netsim"
+	"ibox/internal/obs"
 	"ibox/internal/pantheon"
 	"ibox/internal/replay"
 	"ibox/internal/sim"
@@ -59,6 +60,8 @@ var realismLadder = []float64{300_000, 750_000, 1_200_000, 2_850_000, 4_300_000}
 // Realism runs the experiment over several ground-truth instances and
 // averages the tuning-transfer statistics.
 func Realism(s Scale) (*RealismResult, error) {
+	sp := obs.StartSpan("realism")
+	defer sp.End()
 	res := &RealismResult{Scale: s}
 	for _, knob := range realismKnobs {
 		res.Configs = append(res.Configs,

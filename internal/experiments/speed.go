@@ -8,6 +8,7 @@ import (
 	"ibox/internal/cc"
 	"ibox/internal/iboxml"
 	"ibox/internal/netsim"
+	"ibox/internal/obs"
 	"ibox/internal/sim"
 	"ibox/internal/trace"
 )
@@ -50,6 +51,8 @@ func impliedMbps(perPacket time.Duration) float64 {
 // (SpeedWarmup/SpeedSamples) so Quick-scale runs stay CI-fast; zero
 // values fall back to the paper-scale loop sizes.
 func Speed(s Scale) (*SpeedResult, error) {
+	sp := obs.StartSpan("speed")
+	defer sp.End()
 	warm, n := s.SpeedWarmup, s.SpeedSamples
 	if warm <= 0 {
 		warm = 200

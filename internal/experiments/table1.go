@@ -8,6 +8,7 @@ import (
 	"ibox/internal/iboxml"
 	"ibox/internal/iboxnet"
 	"ibox/internal/netsim"
+	"ibox/internal/obs"
 	"ibox/internal/par"
 	"ibox/internal/sim"
 	"ibox/internal/stats"
@@ -102,6 +103,8 @@ func rtcTrace(seed int64, i int, dur sim.Time) *trace.Trace {
 // from the call index or config before dispatch, so serial and parallel
 // runs produce byte-identical tables.
 func Table1(s Scale) (*Table1Result, error) {
+	sp := obs.StartSpan("table1")
+	defer sp.End()
 	n := s.RTCTraces
 	if n < 6 {
 		n = 6
@@ -110,6 +113,9 @@ func Table1(s Scale) (*Table1Result, error) {
 		tr *trace.Trace
 		ct *trace.Series
 	}
+	gen := sp.Start("generate")
+	gen.SetItems(n)
+	gen.SetArg("corpus", "rtc")
 	calls, err := par.Map(n, s.Par(), func(i int) (call, error) {
 		tr := rtcTrace(s.Seed, i, s.TraceDur)
 		var ct *trace.Series
@@ -118,6 +124,7 @@ func Table1(s Scale) (*Table1Result, error) {
 		}
 		return call{tr, ct}, nil
 	})
+	gen.End()
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +139,8 @@ func Table1(s Scale) (*Table1Result, error) {
 		samples = append(samples, iboxml.TrainingSample{Trace: all[i], CT: cts[i]})
 	}
 	useCT := []bool{false, true}
+	tsp := sp.Start("train")
+	tsp.SetItems(len(useCT))
 	models, err := par.Map(len(useCT), s.Par(), func(i int) (*iboxml.Model, error) {
 		m, err := iboxml.Train(samples, iboxml.Config{
 			Hidden: 16, Layers: 2, Epochs: 3 * s.MLEpochs, PrevDelayNoise: 1.0,
@@ -142,12 +151,16 @@ func Table1(s Scale) (*Table1Result, error) {
 		}
 		return m, nil
 	})
+	tsp.End()
 	if err != nil {
 		return nil, err
 	}
 	noCT, withCT := models[0], models[1]
 
 	res := &Table1Result{Scale: s}
+	eval := sp.Start("evaluate")
+	eval.SetItems(n - nTrain)
+	defer eval.End()
 	type evalRow struct{ gt, noCT, withCT float64 }
 	evals, err := par.Map(n-nTrain, s.Par(), func(k int) (evalRow, error) {
 		i := nTrain + k

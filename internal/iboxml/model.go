@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"ibox/internal/nn"
+	"ibox/internal/obs"
 	"ibox/internal/sim"
 	"ibox/internal/trace"
 )
@@ -171,8 +173,24 @@ func Train(samples []TrainingSample, cfg Config) (*Model, error) {
 	m.Net = nn.NewSequenceModel(nn.GaussianHead, dim, cfg.Hidden, cfg.Layers, cfg.Seed)
 	opt := nn.NewAdam(cfg.LR, m.Net.Params())
 
+	// Per-epoch training telemetry: mean sequence loss (gauge; the last
+	// value is the converged loss) and epoch wall time. All handles are
+	// nil no-ops when observability is disabled, and nothing recorded
+	// here feeds back into training, so enabling the layer cannot perturb
+	// the learnt weights.
+	reg := obs.Get()
+	lossGauge := reg.Gauge("iboxml.epoch_loss")
+	epochHist := reg.Histogram("iboxml.epoch_ns")
+	epochs := reg.Counter("iboxml.epochs")
+	reg.Counter("iboxml.trainings").Add(1)
+
 	noiseRng := sim.NewRand(cfg.Seed, 313)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		if epochHist != nil {
+			epochStart = time.Now()
+		}
+		lossSum, lossN := 0.0, 0
 		for _, s := range seqs {
 			xs := make([][]float64, len(s.xs))
 			ys := make([]float64, len(s.ys))
@@ -189,7 +207,16 @@ func Train(samples []TrainingSample, cfg Config) (*Model, error) {
 			if math.IsNaN(loss) {
 				continue
 			}
+			lossSum += loss
+			lossN++
 			opt.Step()
+		}
+		if epochHist != nil {
+			epochHist.ObserveSince(epochStart)
+			epochs.Add(1)
+			if lossN > 0 {
+				lossGauge.Set(lossSum / float64(lossN))
+			}
 		}
 	}
 	m.trained = true

@@ -22,8 +22,10 @@ package iboxnet
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"ibox/internal/netsim"
+	"ibox/internal/obs"
 	"ibox/internal/sim"
 	"ibox/internal/trace"
 )
@@ -100,6 +102,10 @@ func (c EstimatorConfig) withDefaults() EstimatorConfig {
 
 // Estimate learns iBoxNet parameters from one input–output trace.
 func Estimate(tr *trace.Trace, cfg EstimatorConfig) (Params, error) {
+	if h := obs.Get().Histogram("iboxnet.estimate_ns"); h != nil {
+		defer h.ObserveSince(time.Now())
+		obs.Get().Counter("iboxnet.estimates").Add(1)
+	}
 	cfg = cfg.withDefaults()
 	if err := tr.Validate(); err != nil {
 		return Params{}, err

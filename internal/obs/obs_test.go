@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestDisabledZeroAllocs pins the "disabled means free" half of the
+// package contract: with no registry installed, the full instrumentation
+// surface — handle lookup, counter/gauge/histogram updates, span trees —
+// must allocate nothing.
+func TestDisabledZeroAllocs(t *testing.T) {
+	Disable()
+	if got := testing.AllocsPerRun(100, func() {
+		Get().Counter("x").Add(1)
+		Get().Gauge("y").Set(2.5)
+		Get().Histogram("z").Observe(1234)
+		Get().Histogram("z").ObserveSince(time.Time{})
+		sp := StartSpan("stage")
+		child := sp.Start("substage")
+		child.SetItems(4)
+		child.SetArg("k", "v")
+		child.End()
+		sp.End()
+	}); got != 0 {
+		t.Errorf("disabled observability path allocates %.0f objects per run, want 0", got)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	if r.Counter("a") != c {
+		t.Error("same name should return the same counter handle")
+	}
+	g := r.Gauge("b")
+	g.Set(1.5)
+	g.Set(-2.25)
+	if got := g.Value(); got != -2.25 {
+		t.Errorf("gauge = %g, want -2.25", got)
+	}
+
+	// Nil handles are inert.
+	var nc *Counter
+	var ng *Gauge
+	nc.Add(1)
+	ng.Set(1)
+	if nc.Value() != 0 || ng.Value() != 0 {
+		t.Error("nil handles should read as zero")
+	}
+}
+
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {1023, 0},
+		{1024, 1}, {2047, 1},
+		{2048, 2}, {4095, 2},
+		{4096, 3},
+		{1 << 62, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.want {
+			t.Errorf("histBucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if histBound(0) != 1024 || histBound(1) != 2048 {
+		t.Errorf("histBound(0,1) = %d,%d, want 1024,2048", histBound(0), histBound(1))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 90 observations in [1024, 2048), 10 in [1<<20, 1<<21): p50 must land
+	// in the first bucket's bounds and p99 in the second's.
+	for i := 0; i < 90; i++ {
+		h.Observe(1500)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got, want := h.Sum(), int64(90*1500+10*(1<<20)); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	if p50 := h.Quantile(0.50); p50 < 1024 || p50 >= 2048 {
+		t.Errorf("p50 = %g, want within [1024, 2048)", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 1<<20 || p99 >= 1<<21 {
+		t.Errorf("p99 = %g, want within [2^20, 2^21)", p99)
+	}
+	// Quantiles are monotone in q.
+	prev := -1.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%g) = %g < Quantile at lower q = %g", q, v, prev)
+		}
+		prev = v
+	}
+
+	s := h.Summary()
+	if s.Count != 100 || s.Mean != float64(h.Sum())/100 {
+		t.Errorf("summary = %+v, want count 100 mean %g", s, float64(h.Sum())/100)
+	}
+
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || (empty.Summary() != HistogramSummary{}) {
+		t.Error("empty histogram should read as zero")
+	}
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Count() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram should be inert")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(0.5)
+	r.Histogram("h").Observe(4000)
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 5 || snap.Gauges["g"] != 0.5 || snap.Histograms["h"].Count != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	var nilR *Registry
+	empty := nilR.Snapshot()
+	if len(empty.Counters) != 0 || len(empty.Gauges) != 0 || len(empty.Histograms) != 0 {
+		t.Error("nil registry snapshot should be empty")
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Disable()
+	if Enabled() {
+		t.Fatal("registry unexpectedly installed at test start")
+	}
+	r := Enable()
+	if !Enabled() || Get() != r {
+		t.Error("Enable should install the returned registry")
+	}
+	Get().Counter("k").Add(2)
+	if r.Counter("k").Value() != 2 {
+		t.Error("global handle should write into the installed registry")
+	}
+	Disable()
+	if Enabled() || Get() != nil {
+		t.Error("Disable should uninstall the registry")
+	}
+	if StartSpan("x") != nil {
+		t.Error("StartSpan on a disabled registry should return nil")
+	}
+}
+
+func TestSpanNestingAndLanes(t *testing.T) {
+	r := NewRegistry()
+	top := r.StartSpan("outer")
+	child := top.Start("inner")
+	child.SetItems(3)
+	child.SetArg("profile", "test")
+	child.End()
+	child.End() // idempotent
+	top.End()
+	next := r.StartSpan("after") // sequential: should reuse the freed lane
+	next.End()
+
+	spans := r.finishedSpans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]spanRec{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	outer, inner, after := byName["outer"], byName["inner"], byName["after"]
+	if inner.Parent != outer.ID || inner.Depth != 1 || inner.Lane != outer.Lane {
+		t.Errorf("child span should nest under parent: inner=%+v outer=%+v", inner, outer)
+	}
+	if inner.Items != 3 || inner.Args["profile"] != "test" {
+		t.Errorf("child annotations lost: %+v", inner)
+	}
+	if after.Lane != outer.Lane {
+		t.Errorf("sequential top-level span should reuse lane %d, got %d", outer.Lane, after.Lane)
+	}
+	if inner.Start < outer.Start || inner.End > outer.End {
+		t.Errorf("child [%v,%v] should be contained in parent [%v,%v]",
+			inner.Start, inner.End, outer.Start, outer.End)
+	}
+
+	// Concurrent top-level spans get distinct lanes.
+	a := r.StartSpan("a")
+	b := r.StartSpan("b")
+	if a.lane == b.lane {
+		t.Errorf("concurrent top-level spans share lane %d", a.lane)
+	}
+	a.End()
+	b.End()
+}
+
+func TestTraceJSON(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("stage")
+	sp.Start("sub").End()
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := r.TraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 2 || f.DisplayTimeUnit != "ms" {
+		t.Fatalf("trace = %+v", f)
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" || ev.Pid != 1 || ev.Dur < 0 {
+			t.Errorf("malformed event %+v", ev)
+		}
+	}
+
+	// A nil registry still writes an empty-but-valid trace.
+	buf.Reset()
+	var nilR *Registry
+	if err := nilR.TraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("nil-registry trace is not valid JSON: %v", err)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("stage")
+	gen := sp.Start("generate")
+	gen.SetItems(8)
+	gen.End()
+	sp.End()
+	// Worker utilization = item_ns sum / capacity_ns.
+	r.Histogram(MetricParItemNs).Observe(3_000_000)
+	r.Counter(MetricParCapacityNs).Add(4_000_000)
+	r.Counter("pantheon.traces").Add(8)
+
+	rep := r.BuildReport()
+	if got, want := rep.WorkerUtilization, 0.75; got != want {
+		t.Errorf("utilization = %g, want %g", got, want)
+	}
+	if len(rep.Stages) != 2 || rep.Stages[0].Name != "stage" || rep.Stages[1].Items != 8 {
+		t.Errorf("stages = %+v", rep.Stages)
+	}
+	if rep.GoMaxProcs < 1 || rep.GeneratedAt == "" {
+		t.Errorf("report metadata missing: %+v", rep)
+	}
+
+	path := filepath.Join(t.TempDir(), "RUN_REPORT.json")
+	if err := r.WriteReport(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Counters["pantheon.traces"] != 8 || len(loaded.Stages) != 2 ||
+		loaded.Histograms[MetricParItemNs].Count != 1 {
+		t.Errorf("loaded report = %+v", loaded)
+	}
+
+	// Nil registry: BuildReport works and is empty.
+	var nilR *Registry
+	empty := nilR.BuildReport()
+	if empty.WorkerUtilization != 0 || len(empty.Stages) != 0 {
+		t.Errorf("nil report = %+v", empty)
+	}
+}

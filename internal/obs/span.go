@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Span is a timed, hierarchical region of the pipeline ("fig2" →
+// "generate" → …). Spans are recorded into the registry when they End
+// and exported by TraceJSON / BuildReport. A nil span (from a disabled
+// registry) is a no-op on every method, so call sites need no guards.
+//
+// Lane model: a top-level span claims a display lane (the "tid" of the
+// Chrome trace event) from a free list and returns it on End; child
+// spans inherit their parent's lane. Concurrent top-level spans — the
+// -parallel experiment mode, or the concurrent model trainings inside
+// Table 1 and Fig 5 — therefore land on distinct lanes, while the
+// sequential phases of one experiment stack on one lane in start order,
+// which chrome://tracing and Perfetto render as a flame graph.
+type Span struct {
+	r      *Registry
+	id     int64
+	parent int64
+	name   string
+	lane   int
+	depth  int
+	start  time.Time
+	items  int64
+	args   map[string]string
+	ended  bool
+}
+
+// spanRec is the immutable record of a finished span.
+type spanRec struct {
+	ID     int64
+	Parent int64
+	Name   string
+	Lane   int
+	Depth  int
+	Start  time.Duration // since registry start
+	End    time.Duration
+	Items  int64
+	Args   map[string]string
+}
+
+// StartSpan opens a top-level span. Returns nil on a nil registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	r.nextSpan++
+	id := r.nextSpan
+	var lane int
+	if n := len(r.freeLanes); n > 0 {
+		lane = r.freeLanes[n-1]
+		r.freeLanes = r.freeLanes[:n-1]
+	} else {
+		lane = r.lanes
+		r.lanes++
+	}
+	r.spanMu.Unlock()
+	return &Span{r: r, id: id, name: name, lane: lane, start: time.Now()}
+}
+
+// StartSpan opens a top-level span on the installed registry; nil (a
+// no-op span) when observability is disabled.
+func StartSpan(name string) *Span { return Get().StartSpan(name) }
+
+// Start opens a child span inheriting the parent's display lane. Returns
+// nil on a nil span.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.r.spanMu.Lock()
+	s.r.nextSpan++
+	id := s.r.nextSpan
+	s.r.spanMu.Unlock()
+	return &Span{
+		r: s.r, id: id, parent: s.id, name: name,
+		lane: s.lane, depth: s.depth + 1, start: time.Now(),
+	}
+}
+
+// SetItems records how many work items the span processed (reported as
+// the stage's item count). No-op on a nil span.
+func (s *Span) SetItems(n int) {
+	if s == nil {
+		return
+	}
+	s.items = int64(n)
+}
+
+// SetArg attaches a key/value annotation (exported into the trace
+// event's args and the run report). No-op on a nil span.
+func (s *Span) SetArg(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = map[string]string{}
+	}
+	s.args[key] = value
+}
+
+// End closes the span and records it. Safe to call on a nil span and
+// idempotent on a live one.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	end := time.Now()
+	r := s.r
+	r.spanMu.Lock()
+	r.spans = append(r.spans, spanRec{
+		ID: s.id, Parent: s.parent, Name: s.name, Lane: s.lane, Depth: s.depth,
+		Start: s.start.Sub(r.start), End: end.Sub(r.start),
+		Items: s.items, Args: s.args,
+	})
+	if s.depth == 0 {
+		r.freeLanes = append(r.freeLanes, s.lane)
+	}
+	r.spanMu.Unlock()
+}
+
+// finishedSpans returns a copy of all recorded spans sorted by start
+// time (ties broken by id, so nesting order is stable).
+func (r *Registry) finishedSpans() []spanRec {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	out := append([]spanRec(nil), r.spans...)
+	r.spanMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// traceEvent is one Chrome trace-event object ("X" = complete event;
+// timestamps and durations are microseconds).
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of the Chrome trace-event format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceJSON writes every finished span as Chrome trace-event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Writes an
+// empty-but-valid trace on a nil registry.
+func (r *Registry) TraceJSON(w io.Writer) error {
+	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for _, sp := range r.finishedSpans() {
+		args := sp.Args
+		if sp.Items > 0 {
+			args = map[string]string{"items": fmt.Sprintf("%d", sp.Items)}
+			for k, v := range sp.Args {
+				args[k] = v
+			}
+		}
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: sp.Name,
+			Cat:  "ibox",
+			Ph:   "X",
+			Ts:   float64(sp.Start) / 1e3,
+			Dur:  float64(sp.End-sp.Start) / 1e3,
+			Pid:  1,
+			Tid:  sp.Lane,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}

@@ -19,9 +19,11 @@ package pantheon
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"ibox/internal/cc"
 	"ibox/internal/netsim"
+	"ibox/internal/obs"
 	"ibox/internal/par"
 	"ibox/internal/sim"
 	"ibox/internal/trace"
@@ -255,14 +257,27 @@ func GenerateOpts(pr Profile, n int, protocol string, dur sim.Time, seed int64, 
 	if n <= 0 {
 		return nil, fmt.Errorf("pantheon: need n > 0, got %d", n)
 	}
+	// Instrumentation handles are hoisted out of the per-instance loop;
+	// all are nil no-ops when observability is disabled.
+	reg := obs.Get()
+	traces := reg.Counter("pantheon.traces")
+	instHist := reg.Histogram("pantheon.instance_ns")
 	c := &Corpus{Profile: pr, Protocol: protocol, Duration: dur}
 	type sampled struct {
 		inst Instance
 		tr   *trace.Trace
 	}
 	rows, err := par.Map(n, opts, func(i int) (sampled, error) {
+		var t0 time.Time
+		if instHist != nil {
+			t0 = time.Now()
+		}
 		inst := pr.Sample(seed, i)
 		tr, err := inst.Run(protocol, dur, int64(i))
+		if instHist != nil {
+			instHist.ObserveSince(t0)
+			traces.Add(1)
+		}
 		if err != nil {
 			return sampled{}, fmt.Errorf("pantheon: instance %d: %w", i, err)
 		}

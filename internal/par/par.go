@@ -28,7 +28,40 @@ package par
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"ibox/internal/obs"
 )
+
+// metrics bundles the fan-out instrumentation handles. All fields are
+// nil when observability is disabled (obs.Get() == nil), in which case
+// every record call below is a no-op and — crucially — no clock is ever
+// read, so a disabled run does literally the same work as before the
+// instrumentation existed. Handles are resolved once per Map call, never
+// per item.
+type metrics struct {
+	items    *obs.Counter   // work items completed
+	busy     *obs.Histogram // per-item fn duration, ns (sum = busy time)
+	wait     *obs.Histogram // queue wait: dispatch-ready → worker pickup, ns
+	capacity *obs.Counter   // Σ per-Map wall × workers, ns (utilization denominator)
+}
+
+// parMetrics resolves the instrumentation handles, or all-nil when
+// disabled.
+func parMetrics(workers int) metrics {
+	r := obs.Get()
+	if r == nil {
+		return metrics{}
+	}
+	r.Counter("par.map_calls").Add(1)
+	r.Gauge("par.workers").Set(float64(workers))
+	return metrics{
+		items:    r.Counter("par.items"),
+		busy:     r.Histogram(obs.MetricParItemNs),
+		wait:     r.Histogram("par.queue_wait_ns"),
+		capacity: r.Counter(obs.MetricParCapacityNs),
+	}
+}
 
 // Options control how a fan-out executes. The zero value is the default:
 // parallel with one worker per available CPU.
@@ -72,9 +105,25 @@ func Map[R any](n int, opts Options, fn func(i int) (R, error)) ([]R, error) {
 	}
 	out := make([]R, n)
 	workers := opts.WorkersFor(n)
+	m := parMetrics(workers)
+	instrumented := m.items != nil
+	if instrumented {
+		mapStart := time.Now()
+		defer func() {
+			m.capacity.Add(int64(time.Since(mapStart)) * int64(workers))
+		}()
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			var t0 time.Time
+			if instrumented {
+				t0 = time.Now()
+			}
 			r, err := fn(i)
+			if instrumented {
+				m.busy.ObserveSince(t0)
+				m.items.Add(1)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -87,7 +136,13 @@ func Map[R any](n int, opts Options, fn func(i int) (R, error)) ([]R, error) {
 		idx int
 		err error
 	}
-	idxCh := make(chan int)
+	// job carries the dispatch-ready timestamp so workers can report how
+	// long the item waited for a free worker (zero when uninstrumented).
+	type job struct {
+		i   int
+		enq time.Time
+	}
+	jobCh := make(chan job)
 	// Buffered so workers never block reporting: each sends at most one
 	// failure before exiting.
 	failCh := make(chan failure, workers)
@@ -96,13 +151,22 @@ func Map[R any](n int, opts Options, fn func(i int) (R, error)) ([]R, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idxCh {
-				r, err := fn(i)
+			for j := range jobCh {
+				var t0 time.Time
+				if instrumented {
+					t0 = time.Now()
+					m.wait.Observe(int64(t0.Sub(j.enq)))
+				}
+				r, err := fn(j.i)
+				if instrumented {
+					m.busy.ObserveSince(t0)
+					m.items.Add(1)
+				}
 				if err != nil {
-					failCh <- failure{i, err}
+					failCh <- failure{j.i, err}
 					return
 				}
-				out[i] = r
+				out[j.i] = r
 			}
 		}()
 	}
@@ -111,14 +175,18 @@ func Map[R any](n int, opts Options, fn func(i int) (R, error)) ([]R, error) {
 	var first failure
 dispatch:
 	for i := 0; i < n; i++ {
+		var enq time.Time
+		if instrumented {
+			enq = time.Now()
+		}
 		select {
-		case idxCh <- i:
+		case jobCh <- job{i, enq}:
 		case f := <-failCh:
 			failed, first = true, f
 			break dispatch
 		}
 	}
-	close(idxCh)
+	close(jobCh)
 	wg.Wait()
 	close(failCh)
 	for f := range failCh {
