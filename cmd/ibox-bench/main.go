@@ -25,32 +25,8 @@ import (
 
 	"ibox/internal/experiments"
 	"ibox/internal/obs"
+	"ibox/internal/regress"
 )
-
-// Measurement is one (benchmark, mode) timing: the minimum over reps of
-// one full experiment run, in the style of go test -bench ns/op, plus the
-// distribution of per-item fan-out latencies across all reps (from the
-// par.item_ns histogram of a per-measurement obs registry).
-type Measurement struct {
-	Name        string                `json:"name"`
-	Mode        string                `json:"mode"` // "serial" or "parallel"
-	Workers     int                   `json:"workers"`
-	GoMaxProcs  int                   `json:"gomaxprocs"`
-	NsPerOp     int64                 `json:"ns_per_op"`
-	Seconds     float64               `json:"seconds"`
-	Reps        int                   `json:"reps"`
-	ItemLatency *obs.HistogramSummary `json:"item_latency,omitempty"`
-}
-
-// Summary is the BENCH_parallel.json schema.
-type Summary struct {
-	GoMaxProcs int                `json:"gomaxprocs"`
-	Scale      string             `json:"scale"`
-	Seed       int64              `json:"seed"`
-	Timestamp  string             `json:"timestamp"`
-	Benchmarks []Measurement      `json:"benchmarks"`
-	Speedups   map[string]float64 `json:"speedups"`
-}
 
 func main() {
 	log.SetFlags(0)
@@ -89,7 +65,9 @@ func main() {
 		{"parallel", false},
 	}
 
-	sum := Summary{
+	// The schema lives in internal/regress so ibox-compare can gate on
+	// these files.
+	sum := regress.BenchSummary{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Scale:      *scaleName,
 		Seed:       *seed,
@@ -121,7 +99,7 @@ func main() {
 			}
 			obs.Disable()
 			best[b.name][m.mode] = min
-			meas := Measurement{
+			meas := regress.BenchMeasurement{
 				Name: b.name, Mode: m.mode, Workers: workers,
 				GoMaxProcs: runtime.GOMAXPROCS(0),
 				NsPerOp:    min.Nanoseconds(), Seconds: min.Seconds(), Reps: *reps,

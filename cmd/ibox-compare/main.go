@@ -1,0 +1,86 @@
+// Command ibox-compare is the regression gate over the pipeline's
+// structured outputs: it diffs two RUN_REPORT.json (written by
+// ibox-experiments -report) or BENCH_*.json (written by ibox-bench)
+// files, prints an aligned per-metric delta table, and exits non-zero
+// when any metric worsened beyond its class threshold. CI runs it
+// against the committed baselines under baselines/.
+//
+// Usage:
+//
+//	ibox-compare [flags] BASELINE NEW
+//
+//	ibox-compare baselines/RUN_REPORT.baseline.json RUN_REPORT.json
+//	ibox-compare -tol-time 5 baselines/BENCH_parallel.json BENCH_parallel.json
+//
+// Exit codes: 0 no regressions, 1 regression detected, 2 usage or I/O
+// error. See internal/regress for the metric classes and gate semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ibox/internal/regress"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	def := regress.DefaultThresholds()
+	fs := flag.NewFlagSet("ibox-compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tolTime = fs.Float64("tol-time", def.Time,
+			"allowed relative increase for time metrics (1 = +100%)")
+		tolFloor = fs.Float64("tol-time-floor", def.TimeFloorSeconds,
+			"absolute seconds a time metric must also worsen by to gate")
+		tolCount = fs.Float64("tol-count", def.Count,
+			"allowed relative change for counters (0 = exact)")
+		tolFid = fs.Float64("tol-fidelity", def.Fidelity,
+			"allowed relative NLL increase / absolute calibration worsening")
+		skip = fs.String("skip", strings.Join(def.Skip, ","),
+			"comma-separated substrings; matching metrics never gate")
+		allowMissing = fs.Bool("allow-missing", false,
+			"treat metrics missing from NEW as notes, not regressions")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ibox-compare [flags] BASELINE NEW\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	th := regress.Thresholds{
+		Time:             *tolTime,
+		TimeFloorSeconds: *tolFloor,
+		Count:            *tolCount,
+		Fidelity:         *tolFid,
+		AllowMissing:     *allowMissing,
+	}
+	for _, pat := range strings.Split(*skip, ",") {
+		if pat = strings.TrimSpace(pat); pat != "" {
+			th.Skip = append(th.Skip, pat)
+		}
+	}
+
+	res, err := regress.CompareFiles(fs.Arg(0), fs.Arg(1), th)
+	if err != nil {
+		fmt.Fprintf(stderr, "ibox-compare: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "base: %s\nnew:  %s\n\n%s", fs.Arg(0), fs.Arg(1), res.Table())
+	if res.Failed() {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture is a minimal but representative run report.
+const fixture = `{
+  "generated_at": "2026-01-01T00:00:00Z",
+  "gomaxprocs": 4,
+  "wall_seconds": 2.0,
+  "worker_utilization": 0.9,
+  "stages": [
+    {"name": "table1", "depth": 0, "start_ms": 0, "seconds": 1.8},
+    {"name": "train", "depth": 1, "start_ms": 10, "seconds": 1.2}
+  ],
+  "fidelity": [
+    {"label": "table1/with-ct", "epochs": 3, "final_loss": 1.1,
+     "grad_norm_first": 4, "grad_norm_last": 1, "grad_norm_max": 5,
+     "held_out_windows": 120, "held_out_nll": 1.3,
+     "pit_deviation": 0.04, "coverage": {"p50": 0.51, "p90": 0.9}}
+  ],
+  "counters": {"pantheon.traces": 8},
+  "gauges": {"par.workers": 4},
+  "histograms": {
+    "par.item_ns": {"count": 16, "mean_ns": 5e7, "p50_ns": 4e7, "p90_ns": 8e7, "p99_ns": 9e7}
+  }
+}`
+
+func write(t *testing.T, dir, name, data string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIdenticalReportsExitZero(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.json", fixture)
+	new := write(t, dir, "new.json", fixture)
+	var out, errb strings.Builder
+	if code := run([]string{base, new}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("missing ok verdict:\n%s", out.String())
+	}
+}
+
+func TestRegressedReportExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.json", fixture)
+	// Synthetic regression: held-out NLL jumps 1.3 → 2.6 and the trace
+	// counter drifts.
+	bad := strings.Replace(fixture, `"held_out_nll": 1.3`, `"held_out_nll": 2.6`, 1)
+	bad = strings.Replace(bad, `"pantheon.traces": 8`, `"pantheon.traces": 7`, 1)
+	new := write(t, dir, "new.json", bad)
+	var out, errb strings.Builder
+	if code := run([]string{base, new}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("missing REGRESSED verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "fidelity.table1/with-ct.nll") {
+		t.Fatalf("delta table missing nll row:\n%s", out.String())
+	}
+}
+
+func TestLooseTolerancePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.json", fixture)
+	slow := strings.Replace(fixture, `"wall_seconds": 2.0`, `"wall_seconds": 5.0`, 1)
+	new := write(t, dir, "new.json", slow)
+	var out, errb strings.Builder
+	if code := run([]string{base, new}, &out, &errb); code != 1 {
+		t.Fatalf("2.5x wall time under default tolerance: exit = %d, want 1", code)
+	}
+	out.Reset()
+	if code := run([]string{"-tol-time", "5", base, new}, &out, &errb); code != 0 {
+		t.Fatalf("2.5x wall time under -tol-time 5: exit = %d, want 0\n%s", code, out.String())
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"only-one-arg"}, &out, &errb); code != 2 {
+		t.Fatalf("one positional arg: exit = %d, want 2", code)
+	}
+	if code := run([]string{"no.json", "such.json"}, &out, &errb); code != 2 {
+		t.Fatalf("missing files: exit = %d, want 2", code)
+	}
+}

@@ -14,6 +14,9 @@
 //	ibox-experiments -run fig2 -report RUN_REPORT.json  # per-stage timings, worker
 //	                                                    # utilization, histograms
 //	ibox-experiments -run all -trace-out trace.json     # chrome://tracing / Perfetto
+//	ibox-experiments -run all -log run.log -log-level debug  # structured JSON logs,
+//	                                                    # each record tagged with the
+//	                                                    # active span path and stage
 //	ibox-experiments -run all -scale paper -debug-addr :6060  # live expvar + pprof
 //
 // Results are deterministic in the seed: serial and parallel runs print
@@ -25,7 +28,9 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -74,6 +79,8 @@ func main() {
 		report    = flag.String("report", "", "write a structured end-of-run report (RUN_REPORT.json) to this path")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this path")
 		debugAddr = flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. :6060) while running")
+		logPath   = flag.String("log", "", `write structured JSON run logs to this path ("-" or "stderr" for stderr)`)
+		logLevel  = flag.String("log-level", "info", "minimum structured-log level: debug, info, warn, error")
 	)
 	flag.Parse()
 	if *parallel && *serial {
@@ -84,8 +91,22 @@ func main() {
 	// stays disabled and the pipeline runs exactly as before (no clock
 	// reads, no atomics — see internal/obs).
 	var reg *obs.Registry
-	if *report != "" || *traceOut != "" || *debugAddr != "" {
+	if *report != "" || *traceOut != "" || *debugAddr != "" || *logPath != "" {
 		reg = obs.Enable()
+	}
+	var slogger *slog.Logger
+	if *logPath != "" {
+		w := io.Writer(os.Stderr)
+		if *logPath != "-" && *logPath != "stderr" {
+			f, err := os.Create(*logPath)
+			if err != nil {
+				log.Fatalf("opening -log file: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		slogger = slog.New(obs.NewLogHandler(w, obs.ParseLogLevel(*logLevel)))
+		obs.SetLogger(slogger)
 	}
 	if *debugAddr != "" {
 		serveDebug(*debugAddr, reg)
@@ -136,6 +157,15 @@ func main() {
 	if len(selected) == 0 {
 		log.Fatalf("no experiments matched -run %q", *runList)
 	}
+	if slogger != nil {
+		names := make([]string, len(selected))
+		for i, e := range selected {
+			names[i] = e.name
+		}
+		slogger.Info("run start",
+			"experiments", strings.Join(names, ","), "scale", *scaleName,
+			"seed", *seed, "parallel", *parallel, "serial", *serial)
+	}
 
 	// In -parallel mode the selected experiments run concurrently (on top
 	// of each experiment's internal fan-out) but results are collected and
@@ -150,7 +180,17 @@ func main() {
 	outs, _ := par.Map(len(selected), expOpts, func(i int) (outcome, error) {
 		start := time.Now()
 		res, err := selected[i].run(scale)
-		return outcome{res, err, time.Since(start)}, nil
+		elapsed := time.Since(start)
+		if slogger != nil {
+			if err != nil {
+				slogger.Error("experiment failed", "experiment", selected[i].name,
+					"seconds", elapsed.Seconds(), "error", err.Error())
+			} else {
+				slogger.Info("experiment done", "experiment", selected[i].name,
+					"seconds", elapsed.Seconds())
+			}
+		}
+		return outcome{res, err, elapsed}, nil
 	})
 
 	failed := false

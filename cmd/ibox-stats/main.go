@@ -109,6 +109,25 @@ func printReport(path string, rep *obs.Report) {
 		fmt.Printf("\nstages:\n%s", t)
 	}
 
+	if len(rep.Fidelity) > 0 {
+		t := newTextTable("model", "epochs", "loss", "grad 1st/last/max", "windows", "NLL", "pit dev", "cov p50", "cov p90")
+		for _, f := range rep.Fidelity {
+			nonFinite := ""
+			if f.NonFiniteSeqs > 0 {
+				nonFinite = fmt.Sprintf(" (%d non-finite seqs!)", f.NonFiniteSeqs)
+			}
+			t.add(f.Label,
+				fmt.Sprintf("%d", f.Epochs),
+				fmt.Sprintf("%.4f", f.FinalLoss),
+				fmt.Sprintf("%.2f/%.2f/%.2f", f.GradNormFirst, f.GradNormLast, f.GradNormMax)+nonFinite,
+				fmt.Sprintf("%d", f.HeldOutWindows),
+				fmt.Sprintf("%.4f", f.HeldOutNLL),
+				fmt.Sprintf("%.3f", f.PITDeviation),
+				cov(f.Coverage, "p50"), cov(f.Coverage, "p90"))
+		}
+		fmt.Printf("\nmodel fidelity (held-out calibration of the Gaussian head):\n%s", t)
+	}
+
 	if len(rep.Histograms) > 0 {
 		t := newTextTable("histogram", "count", "mean", "p50", "p90", "p99", "max")
 		for _, name := range sortedKeys(rep.Histograms) {
@@ -140,6 +159,15 @@ func ms(ns float64) string {
 	return fmt.Sprintf("%.3fms", ns/1e6)
 }
 
+// cov renders one coverage entry, "-" when the quantile wasn't recorded.
+func cov(m map[string]float64, q string) string {
+	v, ok := m[q]
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -164,12 +192,18 @@ func (t *textTable) add(cells ...string) {
 }
 
 func (t *textTable) String() string {
+	// Widths cover the widest row, not just the header, so rows with more
+	// cells than the header (or longer names than the column title) still
+	// align instead of panicking or ragging.
 	width := make([]int, len(t.header))
 	for i, h := range t.header {
 		width[i] = len(h)
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
 			if len(c) > width[i] {
 				width[i] = len(c)
 			}
@@ -177,12 +211,16 @@ func (t *textTable) String() string {
 	}
 	var b strings.Builder
 	writeRow := func(cells []string) {
+		var line strings.Builder
 		for i, c := range cells {
 			if i > 0 {
-				b.WriteString("  ")
+				line.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", width[i], c)
+			fmt.Fprintf(&line, "%-*s", width[i], c)
 		}
+		// Trailing empty cells (a stage with no items/args) must not leave
+		// padding spaces at end of line.
+		b.WriteString(strings.TrimRight(line.String(), " "))
 		b.WriteString("\n")
 	}
 	writeRow(t.header)

@@ -102,6 +102,24 @@ func runReorderPipeline(s Scale) (*reorderPipeline, error) {
 		return nil, err
 	}
 	tsp.End()
+	if l := obs.Logger(); l != nil {
+		l.Info("reorder pipeline models trained",
+			"train_traces", len(train.Traces), "delay_loss", delayModel.Diag.FinalLoss)
+	}
+
+	// Held-out calibration of the delay head on the test split (the model
+	// trains without the CT feature here, so plain traces suffice). Gated
+	// on observability; pure reads either way.
+	if obs.Enabled() {
+		fsp := sp.Start("fidelity")
+		fsp.SetItems(len(test.Traces))
+		heldOut := make([]iboxml.TrainingSample, 0, len(test.Traces))
+		for _, tr := range test.Traces {
+			heldOut = append(heldOut, iboxml.TrainingSample{Trace: tr})
+		}
+		delayModel.RecordFidelity("fig5/delay", heldOut)
+		fsp.End()
+	}
 
 	// Per-test-trace fit + replay + augmentation: independent across
 	// traces, all seeds derived from the trace index before dispatch.

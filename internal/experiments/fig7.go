@@ -143,6 +143,33 @@ func Fig7(s Scale) (*Fig7Result, error) {
 	}
 	noCTModel, ctModel := models[0], models[1]
 
+	// Held-out calibration: fresh RTC traces on unseen seeds and burst
+	// parameters drawn from a dedicated RNG stream. Generated only when
+	// observability is on; all RNG state here is local, so an unobserved
+	// run's results are byte-identical.
+	if obs.Enabled() {
+		fsp := sp.Start("fidelity")
+		const nHeld = 4
+		fsp.SetItems(nHeld)
+		held := make([]iboxml.TrainingSample, 0, nHeld)
+		for i := 0; i < nHeld; i++ {
+			hrng := sim.NewRand(s.Seed, 9000+int64(i))
+			ctRate := (0.4 + hrng.Float64()*1.2) * 1_250_000
+			on := sim.Time(1+hrng.Intn(3)) * sim.Second
+			off := sim.Time(1+hrng.Intn(3)) * sim.Second
+			tr := fig7Run(cc.NewRTC(cc.RTCConfig{InitialRate: 500_000, MinRate: 125_000, MaxRate: 2_000_000}),
+				ctRate, on, off, s.TraceDur, s.Seed+7000+int64(i))
+			var ct *trace.Series
+			if params, err := iboxnet.Estimate(tr, iboxnet.EstimatorConfig{KnownBandwidth: 1_250_000}); err == nil {
+				ct = params.CrossTraffic
+			}
+			held = append(held, iboxml.TrainingSample{Trace: tr, CT: ct})
+		}
+		noCTModel.RecordFidelity("fig7/no-ct", held)
+		ctModel.RecordFidelity("fig7/with-ct", held)
+		fsp.End()
+	}
+
 	// Test: high-rate CBR (8 Mbps) under varying bursty cross traffic,
 	// including levels that overload the bottleneck while on. Levels are
 	// independent; per-level delay slices concatenate in level order.

@@ -73,6 +73,9 @@ func Speed(s Scale) (*SpeedResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Self-calibration (the throwaway model's own training trace) so a
+		// -run speed -report run still carries a fidelity section.
+		m.RecordFidelity(fmt.Sprintf("speed/%dx%d", c.layers, c.hidden), samples)
 		step := m.PredictPacketDelay()
 		feat := []float64{15000, 1.2, 1500, 30}
 		for i := 0; i < warm; i++ {

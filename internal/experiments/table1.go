@@ -156,6 +156,25 @@ func Table1(s Scale) (*Table1Result, error) {
 		return nil, err
 	}
 	noCT, withCT := models[0], models[1]
+	if l := obs.Logger(); l != nil {
+		l.Info("table1 models trained",
+			"train_calls", nTrain, "no_ct_loss", noCT.Diag.FinalLoss, "with_ct_loss", withCT.Diag.FinalLoss)
+	}
+
+	// Held-out calibration of both Gaussian heads — the run report's
+	// fidelity section. Gated on observability (RecordFidelity is a pure
+	// read), so an unobserved run does no extra work.
+	if obs.Enabled() {
+		fsp := sp.Start("fidelity")
+		fsp.SetItems(len(useCT))
+		var heldOut []iboxml.TrainingSample
+		for i := nTrain; i < n; i++ {
+			heldOut = append(heldOut, iboxml.TrainingSample{Trace: all[i], CT: cts[i]})
+		}
+		noCT.RecordFidelity("table1/no-ct", heldOut)
+		withCT.RecordFidelity("table1/with-ct", heldOut)
+		fsp.End()
+	}
 
 	res := &Table1Result{Scale: s}
 	eval := sp.Start("evaluate")

@@ -1,0 +1,146 @@
+package iboxml
+
+import (
+	"math"
+
+	"ibox/internal/obs"
+)
+
+// Post-training calibration of the Gaussian head (§4). Training minimizes
+// the Gaussian NLL of per-window delays; nothing in that objective
+// guarantees the *distribution* is honest — a head can fit the mean well
+// while being wildly overconfident in sigma, and a closed-loop simulator
+// built on it (SimulateTrace) inherits the miscalibration as unrealistic
+// jitter. Calibrate measures this directly on held-out traces, open loop
+// (teacher-forced d_{t−1}), so it scores the head itself rather than the
+// compounding of §4.1's unrolling.
+
+// pitBins is the PIT histogram resolution: coarse enough that quick-scale
+// held-out sets (a few hundred windows) fill every bin, fine enough to
+// show the U (overconfident) vs hump (underconfident) shapes.
+const pitBins = 10
+
+// coverageQuantiles are the predicted quantiles whose empirical coverage
+// Calibrate reports, as (name, standard-normal z) pairs.
+var coverageQuantiles = []struct {
+	name string
+	z    float64
+}{
+	{"p10", -1.2815515655446004},
+	{"p25", -0.6744897501960817},
+	{"p50", 0},
+	{"p75", 0.6744897501960817},
+	{"p90", 1.2815515655446004},
+}
+
+// Calibration is the held-out scorecard of a trained model's predictive
+// distribution. See obs.Fidelity for field semantics; NLL is reported in
+// the model's standardized units so it is directly comparable to the
+// training loss (Model.Diag.FinalLoss).
+type Calibration struct {
+	Windows      int
+	NLL          float64
+	PIT          []float64
+	PITDeviation float64
+	Coverage     map[string]float64
+}
+
+// stdNormalCDF is Φ, the standard normal CDF.
+func stdNormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// Calibrate scores the model's Gaussian head on held-out traces: PIT
+// histogram, per-quantile coverage and mean NLL over every observed
+// window. Pure reads — it never mutates the model or any shared state, so
+// callers may gate it on observability without perturbing results. A
+// model trained with UseCrossTraffic uses each sample's CT series (nil
+// CTs fall back to zeros, as in training).
+func (m *Model) Calibrate(heldOut []TrainingSample) Calibration {
+	cal := Calibration{
+		PIT:      make([]float64, pitBins),
+		Coverage: map[string]float64{},
+	}
+	covCounts := make([]int, len(coverageQuantiles))
+	nllSum := 0.0
+	for _, s := range heldOut {
+		mu, sigma := m.PredictWindowsOpenLoop(s.Trace, s.CT)
+		_, ys, mask := WindowFeatures(s.Trace, nil, m.Cfg.Window)
+		n := len(mu)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		for t := 0; t < n; t++ {
+			if !mask[t] {
+				continue
+			}
+			sig := sigma[t]
+			if sig <= 0 {
+				sig = 1e-9
+			}
+			z := (ys[t] - mu[t]) / sig
+			u := stdNormalCDF(z)
+			b := int(u * pitBins)
+			if b >= pitBins {
+				b = pitBins - 1
+			}
+			cal.PIT[b]++
+			for i, q := range coverageQuantiles {
+				if z <= q.z {
+					covCounts[i]++
+				}
+			}
+			// Standardized NLL: same units as the training loss.
+			nllSum += 0.5*math.Log(2*math.Pi) + math.Log(sig/m.yStd) + 0.5*z*z
+			cal.Windows++
+		}
+	}
+	if cal.Windows == 0 {
+		return cal
+	}
+	nw := float64(cal.Windows)
+	cal.NLL = nllSum / nw
+	for b := range cal.PIT {
+		cal.PIT[b] /= nw
+		if dev := math.Abs(cal.PIT[b] - 1.0/pitBins); dev > cal.PITDeviation {
+			cal.PITDeviation = dev
+		}
+	}
+	for i, q := range coverageQuantiles {
+		cal.Coverage[q.name] = float64(covCounts[i]) / nw
+	}
+	return cal
+}
+
+// RecordFidelity computes held-out calibration and records it, together
+// with the training-trajectory diagnostics, as one fidelity entry of the
+// installed observability registry's run report. No-op (and no
+// calibration work) when observability is disabled; when enabled it only
+// reads, so results are byte-identical either way.
+func (m *Model) RecordFidelity(label string, heldOut []TrainingSample) {
+	r := obs.Get()
+	if r == nil {
+		return
+	}
+	cal := m.Calibrate(heldOut)
+	r.RecordFidelity(obs.Fidelity{
+		Label:          label,
+		Epochs:         m.Diag.Epochs,
+		FinalLoss:      m.Diag.FinalLoss,
+		GradNormFirst:  m.Diag.GradNormFirst,
+		GradNormLast:   m.Diag.GradNormLast,
+		GradNormMax:    m.Diag.GradNormMax,
+		NonFiniteSeqs:  m.Diag.NonFiniteSeqs,
+		HeldOutWindows: cal.Windows,
+		HeldOutNLL:     cal.NLL,
+		PIT:            cal.PIT,
+		PITDeviation:   cal.PITDeviation,
+		Coverage:       cal.Coverage,
+	})
+	if l := obs.Logger(); l != nil {
+		l.Info("iboxml fidelity",
+			"label", label, "held_out_windows", cal.Windows,
+			"nll", cal.NLL, "pit_deviation", cal.PITDeviation,
+			"cov_p50", cal.Coverage["p50"], "cov_p90", cal.Coverage["p90"])
+	}
+}

@@ -1,0 +1,161 @@
+package iboxml
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ibox/internal/obs"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// degenerateTrace has identical, constant delays — zero target variance,
+// the classic recipe for a collapsing sigma head and, with a hostile
+// learning rate, numerical blow-up.
+func degenerateTrace() *trace.Trace {
+	tr := &trace.Trace{Protocol: "degenerate"}
+	for i := 0; i < 400; i++ {
+		send := sim.Time(i) * 10 * sim.Millisecond
+		tr.Packets = append(tr.Packets, trace.Packet{
+			Seq: int64(i), Size: 1500, SendTime: send, RecvTime: send + 30*sim.Millisecond,
+		})
+	}
+	return tr
+}
+
+// TestTrainDivergenceGuard pins the NaN/Inf guard: an exploding learning
+// rate on a zero-variance trace must abort training with a loud
+// diagnostic error, not return a model full of garbage weights.
+func TestTrainDivergenceGuard(t *testing.T) {
+	_, err := Train([]TrainingSample{{Trace: degenerateTrace()}}, Config{
+		Hidden: 8, Layers: 1, Epochs: 5, Seed: 1,
+		LR: 1e30, // hostile: each Adam step moves weights by ~LR
+	})
+	if err == nil {
+		t.Fatal("training with LR=1e30 on a zero-variance trace returned no error")
+	}
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrDiverged)", err)
+	}
+	// The message must carry enough diagnosis to act on (epoch and a
+	// numeric symptom), not just "diverged".
+	if msg := err.Error(); !strings.Contains(msg, "epoch") {
+		t.Errorf("diagnostic error lacks epoch context: %q", msg)
+	}
+}
+
+// TestTrainHealthyDiag: a normal run populates the training-trajectory
+// diagnostics with finite, ordered values.
+func TestTrainHealthyDiag(t *testing.T) {
+	m, err := Train(trainSamples(3, 4*sim.Second), Config{
+		Hidden: 8, Layers: 1, Epochs: 3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Diag
+	if d.Epochs != 3 {
+		t.Errorf("Diag.Epochs = %d, want 3", d.Epochs)
+	}
+	for name, v := range map[string]float64{
+		"FinalLoss": d.FinalLoss, "GradNormFirst": d.GradNormFirst,
+		"GradNormLast": d.GradNormLast, "GradNormMax": d.GradNormMax,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("Diag.%s = %v, want finite", name, v)
+		}
+	}
+	if d.GradNormFirst <= 0 || d.GradNormMax < d.GradNormLast {
+		t.Errorf("grad norm trajectory inconsistent: %+v", d)
+	}
+	if d.NonFiniteSeqs != 0 {
+		t.Errorf("healthy run reported %d non-finite sequences", d.NonFiniteSeqs)
+	}
+}
+
+// TestCalibrateSanity: on held-out traces from the training distribution,
+// a trained head must produce usable calibration — every window scored,
+// PIT a probability distribution, coverage monotone in the quantile, NLL
+// finite and in the ballpark of the training loss.
+func TestCalibrateSanity(t *testing.T) {
+	samples := trainSamples(4, 4*sim.Second)
+	m, err := Train(samples, Config{Hidden: 12, Layers: 1, Epochs: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heldOut := []TrainingSample{
+		{Trace: synthTrace(100, 4*sim.Second)},
+		{Trace: synthTrace(101, 4*sim.Second)},
+	}
+	cal := m.Calibrate(heldOut)
+	if cal.Windows < 40 {
+		t.Fatalf("only %d held-out windows scored", cal.Windows)
+	}
+	if math.IsNaN(cal.NLL) || math.IsInf(cal.NLL, 0) {
+		t.Fatalf("NLL = %v", cal.NLL)
+	}
+	sum := 0.0
+	for _, p := range cal.PIT {
+		if p < 0 {
+			t.Fatalf("negative PIT bin: %v", cal.PIT)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PIT sums to %v, want 1", sum)
+	}
+	if cal.PITDeviation < 0 || cal.PITDeviation > 1 {
+		t.Errorf("PITDeviation = %v outside [0,1]", cal.PITDeviation)
+	}
+	// Coverage is a CDF evaluated at increasing quantiles: monotone, in
+	// [0,1], and p50 not wildly far from one half on in-distribution data.
+	prev := -1.0
+	for _, q := range []string{"p10", "p25", "p50", "p75", "p90"} {
+		c, ok := cal.Coverage[q]
+		if !ok {
+			t.Fatalf("coverage %s missing: %v", q, cal.Coverage)
+		}
+		if c < prev || c < 0 || c > 1 {
+			t.Fatalf("coverage not a monotone CDF: %v", cal.Coverage)
+		}
+		prev = c
+	}
+	if p50 := cal.Coverage["p50"]; p50 < 0.1 || p50 > 0.9 {
+		t.Errorf("p50 coverage = %v, head badly biased", p50)
+	}
+
+	// No held-out data: a zero scorecard, not a panic or NaNs.
+	empty := m.Calibrate(nil)
+	if empty.Windows != 0 || empty.NLL != 0 || empty.PITDeviation != 0 {
+		t.Errorf("empty calibration = %+v", empty)
+	}
+}
+
+// TestRecordFidelityGating: RecordFidelity is a no-op without a registry
+// and lands one labeled record with one.
+func TestRecordFidelityGating(t *testing.T) {
+	defer obs.Disable()
+	obs.Disable()
+	samples := trainSamples(2, 3*sim.Second)
+	m, err := Train(samples, Config{Hidden: 8, Layers: 1, Epochs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RecordFidelity("test/off", samples) // must not panic, records nowhere
+
+	r := obs.Enable()
+	m.RecordFidelity("test/on", samples)
+	recs := r.FidelityRecords()
+	if len(recs) != 1 || recs[0].Label != "test/on" {
+		t.Fatalf("records = %+v", recs)
+	}
+	f := recs[0]
+	if f.Epochs != 2 || f.HeldOutWindows == 0 || len(f.PIT) != 10 {
+		t.Errorf("fidelity record incomplete: %+v", f)
+	}
+	if f.GradNormMax <= 0 {
+		t.Errorf("training diagnostics not merged into record: %+v", f)
+	}
+}

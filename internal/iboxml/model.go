@@ -1,6 +1,7 @@
 package iboxml
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -60,10 +61,39 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// TrainDiag is the training-trajectory record Train leaves on the model:
+// gradient norms (pre-clip global L2, one reading per optimizer step),
+// the converged loss, and how many sequences were skipped for non-finite
+// loss. It feeds the run report's fidelity section (see RecordFidelity).
+type TrainDiag struct {
+	Epochs        int
+	FinalLoss     float64
+	GradNormFirst float64
+	GradNormLast  float64
+	GradNormMax   float64
+	NonFiniteSeqs int64
+}
+
+// ErrDiverged marks a training run aborted by the NaN/Inf guard: the loss
+// or the parameters became non-finite, or the loss exploded past any
+// plausible value. Callers match it with errors.Is; the wrapped message
+// carries the epoch and the offending quantities.
+var ErrDiverged = errors.New("iboxml: training diverged")
+
+// lossDivergenceLimit is the mean-epoch-loss ceiling of the divergence
+// guard. The Gaussian NLL on standardized targets is O(1–10) for any
+// model that is even vaguely tracking the data; a mean loss beyond this
+// means the head is predicting garbage (typically an exploding learning
+// rate) and every further epoch would be wasted work.
+const lossDivergenceLimit = 1e8
+
 // Model is a trained iBoxML delay model.
 type Model struct {
-	Cfg     Config
-	Net     *nn.SequenceModel
+	Cfg Config
+	Net *nn.SequenceModel
+	// Diag records the training trajectory (gradient norms, final loss);
+	// zero for deserialized models.
+	Diag    TrainDiag
 	xScale  scaler
 	yMean   float64
 	yStd    float64
@@ -174,20 +204,25 @@ func Train(samples []TrainingSample, cfg Config) (*Model, error) {
 	opt := nn.NewAdam(cfg.LR, m.Net.Params())
 
 	// Per-epoch training telemetry: mean sequence loss (gauge; the last
-	// value is the converged loss) and epoch wall time. All handles are
-	// nil no-ops when observability is disabled, and nothing recorded
-	// here feeds back into training, so enabling the layer cannot perturb
-	// the learnt weights.
+	// value is the converged loss), gradient norm and epoch wall time. All
+	// handles are nil no-ops when observability is disabled, and nothing
+	// recorded here feeds back into training, so enabling the layer cannot
+	// perturb the learnt weights. The NaN/Inf divergence guard below, by
+	// contrast, is always on: it reads only quantities training computes
+	// anyway, so it is identical with observability on or off.
 	reg := obs.Get()
 	lossGauge := reg.Gauge("iboxml.epoch_loss")
+	gradGauge := reg.Gauge("iboxml.grad_norm")
 	epochHist := reg.Histogram("iboxml.epoch_ns")
 	epochs := reg.Counter("iboxml.epochs")
 	reg.Counter("iboxml.trainings").Add(1)
+	logger := obs.Logger()
 
 	noiseRng := sim.NewRand(cfg.Seed, 313)
+	firstStep := true
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		var epochStart time.Time
-		if epochHist != nil {
+		if epochHist != nil || logger != nil {
 			epochStart = time.Now()
 		}
 		lossSum, lossN := 0.0, 0
@@ -204,23 +239,74 @@ func Train(samples []TrainingSample, cfg Config) (*Model, error) {
 				}
 			}
 			loss := m.Net.TrainSequence(xs, ys, s.mask)
-			if math.IsNaN(loss) {
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				m.Diag.NonFiniteSeqs++
 				continue
 			}
 			lossSum += loss
 			lossN++
-			opt.Step()
+			gn := opt.Step()
+			if firstStep {
+				m.Diag.GradNormFirst = gn
+				firstStep = false
+			}
+			m.Diag.GradNormLast = gn
+			if gn > m.Diag.GradNormMax {
+				m.Diag.GradNormMax = gn
+			}
 		}
+		// NaN/Inf guard: abort with a diagnostic instead of grinding out a
+		// poisoned model. Three trips: every sequence's loss non-finite,
+		// the mean loss non-finite or exploded, or the weights themselves
+		// no longer finite.
+		if lossN == 0 {
+			return nil, fmt.Errorf("%w: all %d sequence losses non-finite at epoch %d/%d (grad norm %.3g); lower the learning rate (lr=%g) or check the training data",
+				ErrDiverged, len(seqs), epoch+1, cfg.Epochs, m.Diag.GradNormLast, cfg.LR)
+		}
+		meanLoss := lossSum / float64(lossN)
+		if math.IsNaN(meanLoss) || math.IsInf(meanLoss, 0) || meanLoss > lossDivergenceLimit {
+			return nil, fmt.Errorf("%w: mean loss %.3g at epoch %d/%d (grad norm %.3g, %d/%d sequences non-finite); lower the learning rate (lr=%g)",
+				ErrDiverged, meanLoss, epoch+1, cfg.Epochs, m.Diag.GradNormLast, len(seqs)-lossN, len(seqs), cfg.LR)
+		}
+		if !paramsFinite(m.Net.Params()) {
+			return nil, fmt.Errorf("%w: non-finite parameters after epoch %d/%d (mean loss %.3g, grad norm %.3g); lower the learning rate (lr=%g)",
+				ErrDiverged, epoch+1, cfg.Epochs, meanLoss, m.Diag.GradNormLast, cfg.LR)
+		}
+		m.Diag.Epochs = epoch + 1
+		m.Diag.FinalLoss = meanLoss
 		if epochHist != nil {
 			epochHist.ObserveSince(epochStart)
 			epochs.Add(1)
-			if lossN > 0 {
-				lossGauge.Set(lossSum / float64(lossN))
-			}
+			lossGauge.Set(meanLoss)
+			gradGauge.Set(m.Diag.GradNormLast)
+		}
+		if logger != nil {
+			logger.Debug("iboxml epoch",
+				"epoch", epoch+1, "epochs", cfg.Epochs,
+				"loss", meanLoss, "grad_norm", m.Diag.GradNormLast,
+				"ms", float64(time.Since(epochStart).Microseconds())/1e3)
 		}
 	}
 	m.trained = true
+	if logger != nil {
+		logger.Info("iboxml trained",
+			"epochs", m.Diag.Epochs, "loss", m.Diag.FinalLoss,
+			"grad_norm_max", m.Diag.GradNormMax, "params", m.NumParams(),
+			"sequences", len(seqs), "non_finite_seqs", m.Diag.NonFiniteSeqs)
+	}
 	return m, nil
+}
+
+// paramsFinite reports whether every scalar parameter is finite.
+func paramsFinite(params []*nn.Param) bool {
+	for _, p := range params {
+		for _, w := range p.W {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // NumParams reports the scalar parameter count of the underlying network.

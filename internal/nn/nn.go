@@ -50,23 +50,24 @@ func NewAdam(lr float64, params []*Param) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 5, params: params}
 }
 
-// Step applies one update from the accumulated gradients, then clears them.
-func (a *Adam) Step() {
+// Step applies one update from the accumulated gradients, then clears
+// them. It returns the global (pre-clip) L2 gradient norm, which training
+// loops record as a divergence diagnostic; callers that don't need it can
+// ignore the value.
+func (a *Adam) Step() float64 {
 	a.t++
-	if a.ClipNorm > 0 {
-		norm := 0.0
-		for _, p := range a.params {
-			for _, g := range p.Grad {
-				norm += g * g
-			}
+	norm := 0.0
+	for _, p := range a.params {
+		for _, g := range p.Grad {
+			norm += g * g
 		}
-		norm = math.Sqrt(norm)
-		if norm > a.ClipNorm {
-			scale := a.ClipNorm / norm
-			for _, p := range a.params {
-				for i := range p.Grad {
-					p.Grad[i] *= scale
-				}
+	}
+	norm = math.Sqrt(norm)
+	if a.ClipNorm > 0 && norm > a.ClipNorm {
+		scale := a.ClipNorm / norm
+		for _, p := range a.params {
+			for i := range p.Grad {
+				p.Grad[i] *= scale
 			}
 		}
 	}
@@ -82,6 +83,7 @@ func (a *Adam) Step() {
 		}
 		p.ZeroGrad()
 	}
+	return norm
 }
 
 // Dense is a fully connected layer y = W·x + b.

@@ -1,0 +1,67 @@
+package obs
+
+// Fidelity is one trained model's diagnostics record: the training
+// trajectory (gradient norms, final loss, sequences skipped for
+// non-finite loss) plus the post-training calibration of its predictive
+// distribution on held-out data — PIT histogram, per-quantile coverage
+// and held-out NLL. Producers (internal/iboxml) record one entry per
+// training; BuildReport serializes them as the run report's "fidelity"
+// section and ibox-stats -report pretty-prints them.
+//
+// Calibration semantics, for a Gaussian head P(y|x) = N(mu, sigma²):
+//
+//   - PIT: the probability integral transform u = Φ((y−mu)/sigma) of each
+//     held-out observation, binned uniformly on [0,1]. A calibrated model
+//     yields a flat histogram; an overconfident one piles mass at the
+//     edges, an underconfident one in the middle. PITDeviation is the
+//     maximum |bin fraction − 1/len(PIT)| — 0 is perfect.
+//   - Coverage maps "p50"-style quantile names to the observed fraction
+//     of held-out values at or below the predicted quantile; calibrated
+//     means Coverage["p90"] ≈ 0.90.
+//   - HeldOutNLL is the mean Gaussian negative log likelihood (nats per
+//     observation, in the model's standardized units) on the held-out
+//     set — the loss the training optimized, measured where it counts.
+type Fidelity struct {
+	// Label identifies the training within the run ("table1/with-ct").
+	Label string `json:"label"`
+
+	// Training-trajectory diagnostics.
+	Epochs        int     `json:"epochs"`
+	FinalLoss     float64 `json:"final_loss"`
+	GradNormFirst float64 `json:"grad_norm_first"`
+	GradNormLast  float64 `json:"grad_norm_last"`
+	GradNormMax   float64 `json:"grad_norm_max"`
+	// NonFiniteSeqs counts training sequences skipped because their loss
+	// came back NaN/Inf; a nonzero value on a run that converged is an
+	// early warning even when the NaN guard did not trip.
+	NonFiniteSeqs int64 `json:"non_finite_seqs,omitempty"`
+
+	// Held-out calibration of the predictive distribution.
+	HeldOutWindows int                `json:"held_out_windows"`
+	HeldOutNLL     float64            `json:"held_out_nll"`
+	PIT            []float64          `json:"pit,omitempty"`
+	PITDeviation   float64            `json:"pit_deviation"`
+	Coverage       map[string]float64 `json:"coverage,omitempty"`
+}
+
+// RecordFidelity appends one model's fidelity record to the run report.
+// No-op on a nil registry, so producers can record unconditionally.
+func (r *Registry) RecordFidelity(f Fidelity) {
+	if r == nil {
+		return
+	}
+	r.fidMu.Lock()
+	r.fidelity = append(r.fidelity, f)
+	r.fidMu.Unlock()
+}
+
+// FidelityRecords returns a copy of all recorded fidelity entries, in
+// record order. Nil on a nil registry.
+func (r *Registry) FidelityRecords() []Fidelity {
+	if r == nil {
+		return nil
+	}
+	r.fidMu.Lock()
+	defer r.fidMu.Unlock()
+	return append([]Fidelity(nil), r.fidelity...)
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileEdges pins the interpolation behavior at the
+// boundaries: a single-bucket histogram must report the bucket's lower
+// bound at q=0 and its upper bound at q=1, out-of-range q clamps, and
+// the unbounded tail bucket reports its lower edge.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1500) // bucket [1024, 2048)
+	}
+	if got := h.Quantile(0); got != 1024 {
+		t.Errorf("Quantile(0) = %g, want lower bound 1024", got)
+	}
+	if got := h.Quantile(1); got != 2048 {
+		t.Errorf("Quantile(1) = %g, want upper bound 2048", got)
+	}
+	if got := h.Quantile(0.5); got != 1536 {
+		t.Errorf("Quantile(0.5) = %g, want midpoint 1536", got)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if h.Quantile(-3) != h.Quantile(0) || h.Quantile(7) != h.Quantile(1) {
+		t.Error("out-of-range q should clamp to [0, 1]")
+	}
+
+	// The last bucket is unbounded above; quantiles inside it report its
+	// lower edge instead of inventing an upper bound.
+	var tail Histogram
+	tail.Observe(1 << 62)
+	want := float64(histBound(histBuckets - 2))
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := tail.Quantile(q); got != want {
+			t.Errorf("tail Quantile(%g) = %g, want lower edge %g", q, got, want)
+		}
+	}
+}
+
+// TestConcurrentSpanLanes exercises the lane free-list under concurrent
+// top-level spans: while N spans are simultaneously open they must hold N
+// distinct lanes, and once all end, the lanes are reused rather than
+// growing the lane count — so recorded spans sharing a lane never overlap
+// in time.
+func TestConcurrentSpanLanes(t *testing.T) {
+	r := NewRegistry()
+	const n = 8
+	spans := make([]*Span, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			spans[i] = r.StartSpan(fmt.Sprintf("s%d", i))
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	lanes := map[int]bool{}
+	for _, sp := range spans {
+		if lanes[sp.lane] {
+			t.Fatalf("two concurrently open spans share lane %d", sp.lane)
+		}
+		lanes[sp.lane] = true
+		if sp.lane < 0 || sp.lane >= n {
+			t.Fatalf("lane %d outside [0, %d): free list grew past peak concurrency", sp.lane, n)
+		}
+	}
+	for _, sp := range spans {
+		sp.End()
+	}
+
+	// Lanes freed by End are reused: a fresh top-level span stays within
+	// the peak-concurrency lane range.
+	after := r.StartSpan("after")
+	if after.lane >= n {
+		t.Errorf("post-churn span claimed new lane %d, want reuse within [0, %d)", after.lane, n)
+	}
+	after.End()
+
+	// Churn a second wave and then verify the global invariant the trace
+	// viewer depends on: same-lane top-level spans never overlap.
+	var wg2 sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg2.Add(1)
+		go func(i int) {
+			defer wg2.Done()
+			for k := 0; k < 20; k++ {
+				sp := r.StartSpan(fmt.Sprintf("churn%d-%d", i, k))
+				sp.Start("child").End()
+				sp.End()
+			}
+		}(i)
+	}
+	wg2.Wait()
+
+	byLane := map[int][]spanRec{}
+	for _, rec := range r.finishedSpans() {
+		if rec.Depth == 0 {
+			byLane[rec.Lane] = append(byLane[rec.Lane], rec)
+		}
+	}
+	if len(byLane) > n+1 {
+		t.Errorf("%d lanes in use, want ≤ %d (peak concurrency + 1)", len(byLane), n+1)
+	}
+	for lane, recs := range byLane {
+		// finishedSpans sorts by start time; consecutive same-lane spans
+		// must not overlap.
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Start < recs[i-1].End {
+				t.Fatalf("lane %d: span %q [%v,%v] overlaps %q [%v,%v]",
+					lane, recs[i].Name, recs[i].Start, recs[i].End,
+					recs[i-1].Name, recs[i-1].Start, recs[i-1].End)
+			}
+		}
+	}
+}
+
+// TestSpanPath pins the "/"-joined path exposed to the log handler.
+func TestSpanPath(t *testing.T) {
+	r := NewRegistry()
+	top := r.StartSpan("table1")
+	child := top.Start("train")
+	grand := child.Start("epoch")
+	if got := grand.Path(); got != "table1/train/epoch" {
+		t.Errorf("Path() = %q, want table1/train/epoch", got)
+	}
+
+	// currentSpan tracks the most recently started still-open span.
+	if path, stage := r.currentSpan(); path != "table1/train/epoch" || stage != "epoch" {
+		t.Errorf("currentSpan = %q,%q", path, stage)
+	}
+	grand.End()
+	if path, stage := r.currentSpan(); path != "table1/train" || stage != "train" {
+		t.Errorf("after child End, currentSpan = %q,%q", path, stage)
+	}
+	child.End()
+	top.End()
+	if path, stage := r.currentSpan(); path != "" || stage != "" {
+		t.Errorf("with no open span, currentSpan = %q,%q, want empty", path, stage)
+	}
+
+	var nilSpan *Span
+	if nilSpan.Path() != "" {
+		t.Error("nil span Path should be empty")
+	}
+	var nilR *Registry
+	if p, s := nilR.currentSpan(); p != "" || s != "" {
+		t.Error("nil registry currentSpan should be empty")
+	}
+}

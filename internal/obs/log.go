@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Structured run logs. The package exposes an optional slog.Logger whose
+// records are tagged with the active span path and stage, so a JSON log
+// line from deep inside iboxml.Train reads
+//
+//	{"msg":"epoch","span":"table1/train","stage":"train","epoch":3,...}
+//
+// without the training loop knowing anything about the span tree. The
+// same disabled-means-free contract as the metrics applies: when no
+// logger is installed, Logger() returns nil and every call site pays one
+// atomic load + nil check and allocates nothing (asserted in the
+// zero-alloc test). Installing a logger does not by itself enable the
+// metrics registry; span/stage attributes appear only when one is also
+// installed, because spans exist only then.
+
+// logp holds the installed logger; nil means logging is disabled (the
+// default).
+var logp atomic.Pointer[slog.Logger]
+
+// SetLogger installs l as the run logger; nil uninstalls.
+func SetLogger(l *slog.Logger) {
+	logp.Store(l)
+}
+
+// Logger returns the installed run logger, or nil when logging is
+// disabled. Call sites guard: if l := obs.Logger(); l != nil { ... } —
+// the disabled cost is one atomic load and the nil check.
+func Logger() *slog.Logger { return logp.Load() }
+
+// NewLogHandler returns a JSON slog handler writing to w at the given
+// level, with the active span path and stage attached to every record
+// (best effort: the most recently started still-open span; records from
+// outside any span carry no span attributes).
+func NewLogHandler(w io.Writer, level slog.Leveler) slog.Handler {
+	return spanHandler{inner: slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})}
+}
+
+// spanHandler decorates an inner handler with span context read from the
+// installed registry at Handle time.
+type spanHandler struct {
+	inner slog.Handler
+}
+
+func (h spanHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h spanHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if path, stage := Get().currentSpan(); stage != "" {
+		rec.AddAttrs(slog.String("span", path), slog.String("stage", stage))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h spanHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return spanHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h spanHandler) WithGroup(name string) slog.Handler {
+	return spanHandler{inner: h.inner.WithGroup(name)}
+}
+
+// ParseLogLevel maps a -log-level flag value to a slog.Level. Unknown
+// values default to Info.
+func ParseLogLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

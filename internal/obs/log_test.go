@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// decodeLines parses each JSON log line written to buf.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestLogHandlerSpanTagging verifies the core of the structured-log
+// design: records emitted inside a span carry its full path and leaf
+// stage, records outside any span carry neither.
+func TestLogHandlerSpanTagging(t *testing.T) {
+	defer Disable()
+	defer SetLogger(nil)
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(&buf, slog.LevelDebug))
+	SetLogger(logger)
+	r := Enable()
+
+	logger.Info("outside")
+	sp := r.StartSpan("table1")
+	child := sp.Start("train")
+	logger.Info("epoch", "epoch", 3, "loss", 1.25)
+	child.End()
+	sp.End()
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(lines))
+	}
+	outside, inside := lines[0], lines[1]
+	if _, ok := outside["span"]; ok {
+		t.Errorf("record outside any span carries span attr: %v", outside)
+	}
+	if inside["span"] != "table1/train" || inside["stage"] != "train" {
+		t.Errorf("span tagging = span:%v stage:%v, want table1/train + train", inside["span"], inside["stage"])
+	}
+	if inside["msg"] != "epoch" || inside["epoch"] != float64(3) || inside["loss"] != 1.25 {
+		t.Errorf("record payload mangled: %v", inside)
+	}
+}
+
+// TestLogHandlerWithoutRegistry: a logger can be installed with the
+// metrics registry disabled; records simply carry no span attributes.
+func TestLogHandlerWithoutRegistry(t *testing.T) {
+	defer SetLogger(nil)
+	Disable()
+	var buf bytes.Buffer
+	SetLogger(slog.New(NewLogHandler(&buf, slog.LevelInfo)))
+	Logger().Info("hello")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 || lines[0]["msg"] != "hello" {
+		t.Fatalf("lines = %v", lines)
+	}
+	if _, ok := lines[0]["span"]; ok {
+		t.Error("no registry installed, record should carry no span attr")
+	}
+}
+
+func TestLogHandlerLevelAndWrappers(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(&buf, slog.LevelWarn))
+	logger.Info("dropped")
+	logger.Warn("kept")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 || lines[0]["msg"] != "kept" {
+		t.Fatalf("level filtering broken: %v", lines)
+	}
+
+	// WithAttrs / WithGroup must preserve the span-tagging wrapper.
+	buf.Reset()
+	defer Disable()
+	defer SetLogger(nil)
+	r := Enable()
+	sp := r.StartSpan("fig2")
+	logger.With("worker", 7).WithGroup("g").Warn("inside", "k", "v")
+	sp.End()
+	lines = decodeLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	rec := lines[0]
+	if rec["worker"] != float64(7) {
+		t.Errorf("WithAttrs attr lost: %v", rec)
+	}
+	g, ok := rec["g"].(map[string]any)
+	if !ok || g["k"] != "v" {
+		t.Errorf("WithGroup structure lost: %v", rec)
+	}
+	// Span attrs are added at Handle time, after the group opens — they
+	// land inside the group but must still be present.
+	if g["span"] != "fig2" && rec["span"] != "fig2" {
+		t.Errorf("span attr missing after WithGroup: %v", rec)
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "error": slog.LevelError,
+		"bogus": slog.LevelInfo, "": slog.LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLogLevel(in); got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestFidelityRecords pins the registry-side fidelity plumbing: nil-safe
+// recording, copy-on-read, and inclusion in the built report.
+func TestFidelityRecords(t *testing.T) {
+	var nilR *Registry
+	nilR.RecordFidelity(Fidelity{Label: "x"}) // must not panic
+	if nilR.FidelityRecords() != nil {
+		t.Error("nil registry should report no fidelity records")
+	}
+
+	r := NewRegistry()
+	r.RecordFidelity(Fidelity{Label: "table1/no-ct", HeldOutNLL: 1.5})
+	r.RecordFidelity(Fidelity{Label: "table1/with-ct", HeldOutNLL: 1.2})
+	recs := r.FidelityRecords()
+	if len(recs) != 2 || recs[0].Label != "table1/no-ct" || recs[1].HeldOutNLL != 1.2 {
+		t.Fatalf("records = %+v", recs)
+	}
+	recs[0].Label = "mutated"
+	if r.FidelityRecords()[0].Label != "table1/no-ct" {
+		t.Error("FidelityRecords must return a copy")
+	}
+	rep := r.BuildReport()
+	if len(rep.Fidelity) != 2 || rep.Fidelity[1].Label != "table1/with-ct" {
+		t.Errorf("report fidelity = %+v", rep.Fidelity)
+	}
+}

@@ -82,8 +82,12 @@ type Registry struct {
 	spanMu    sync.Mutex
 	nextSpan  int64
 	spans     []spanRec
+	active    []*Span // open spans, in start order (see currentSpan)
 	freeLanes []int
 	lanes     int
+
+	fidMu    sync.Mutex
+	fidelity []Fidelity
 }
 
 // NewRegistry returns an empty registry clocked from now. Most callers

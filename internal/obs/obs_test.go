@@ -14,6 +14,7 @@ import (
 // must allocate nothing.
 func TestDisabledZeroAllocs(t *testing.T) {
 	Disable()
+	SetLogger(nil)
 	if got := testing.AllocsPerRun(100, func() {
 		Get().Counter("x").Add(1)
 		Get().Gauge("y").Set(2.5)
@@ -25,6 +26,9 @@ func TestDisabledZeroAllocs(t *testing.T) {
 		child.SetArg("k", "v")
 		child.End()
 		sp.End()
+		if l := Logger(); l != nil {
+			l.Info("never reached when disabled")
+		}
 	}); got != 0 {
 		t.Errorf("disabled observability path allocates %.0f objects per run, want 0", got)
 	}

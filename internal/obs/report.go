@@ -24,6 +24,11 @@ type Report struct {
 	// Stages lists every finished span in start order; Depth > 0 marks a
 	// child stage of the nearest preceding shallower stage.
 	Stages []StageReport `json:"stages"`
+	// Fidelity holds one model-fidelity record per trained model: training
+	// trajectory diagnostics and held-out calibration of the predictive
+	// distribution (see Fidelity). Present for any run that trains iBoxML
+	// with observability enabled.
+	Fidelity []Fidelity `json:"fidelity,omitempty"`
 	// Counters/Gauges/Histograms are the final metric values, keyed by
 	// metric name ("par.item_ns", "iboxml.epoch_loss", …).
 	Counters   map[string]int64            `json:"counters"`
@@ -68,6 +73,7 @@ func (r *Registry) BuildReport() Report {
 	if capNs := snap.Counters[MetricParCapacityNs]; capNs > 0 {
 		rep.WorkerUtilization = float64(r.Histogram(MetricParItemNs).Sum()) / float64(capNs)
 	}
+	rep.Fidelity = r.FidelityRecords()
 	for _, sp := range r.finishedSpans() {
 		rep.Stages = append(rep.Stages, StageReport{
 			Name:    sp.Name,

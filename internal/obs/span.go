@@ -25,6 +25,7 @@ type Span struct {
 	id     int64
 	parent int64
 	name   string
+	path   string // "/"-joined ancestor chain, "table1/train"
 	lane   int
 	depth  int
 	start  time.Time
@@ -62,8 +63,11 @@ func (r *Registry) StartSpan(name string) *Span {
 		lane = r.lanes
 		r.lanes++
 	}
+	s := &Span{r: r, id: id, name: name, path: name, lane: lane}
+	r.active = append(r.active, s)
 	r.spanMu.Unlock()
-	return &Span{r: r, id: id, name: name, lane: lane, start: time.Now()}
+	s.start = time.Now()
+	return s
 }
 
 // StartSpan opens a top-level span on the installed registry; nil (a
@@ -79,11 +83,23 @@ func (s *Span) Start(name string) *Span {
 	s.r.spanMu.Lock()
 	s.r.nextSpan++
 	id := s.r.nextSpan
-	s.r.spanMu.Unlock()
-	return &Span{
-		r: s.r, id: id, parent: s.id, name: name,
-		lane: s.lane, depth: s.depth + 1, start: time.Now(),
+	child := &Span{
+		r: s.r, id: id, parent: s.id, name: name, path: s.path + "/" + name,
+		lane: s.lane, depth: s.depth + 1,
 	}
+	s.r.active = append(s.r.active, child)
+	s.r.spanMu.Unlock()
+	child.start = time.Now()
+	return child
+}
+
+// Path returns the span's "/"-joined name chain from its top-level
+// ancestor ("table1/train"). Empty on a nil span.
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
 }
 
 // SetItems records how many work items the span processed (reported as
@@ -125,7 +141,30 @@ func (s *Span) End() {
 	if s.depth == 0 {
 		r.freeLanes = append(r.freeLanes, s.lane)
 	}
+	for i := len(r.active) - 1; i >= 0; i-- {
+		if r.active[i] == s {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			break
+		}
+	}
 	r.spanMu.Unlock()
+}
+
+// currentSpan returns the path and leaf name of the most recently started
+// still-open span — the log handler's best-effort notion of "the stage
+// this record came from". Empty strings when no span is open (or on a nil
+// registry).
+func (r *Registry) currentSpan() (path, stage string) {
+	if r == nil {
+		return "", ""
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	if n := len(r.active); n > 0 {
+		s := r.active[n-1]
+		return s.path, s.name
+	}
+	return "", ""
 }
 
 // finishedSpans returns a copy of all recorded spans sorted by start

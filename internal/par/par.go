@@ -63,6 +63,17 @@ func parMetrics(workers int) metrics {
 	}
 }
 
+// logItemError reports a failed work item to the structured run log (see
+// obs.Logger). Every failing item logs — not just the lowest-index one
+// Map returns — because concurrent failures the caller never sees are
+// exactly what a post-mortem needs. One nil check when logging is
+// disabled.
+func logItemError(i int, err error) {
+	if l := obs.Logger(); l != nil {
+		l.Error("par: work item failed", "item", i, "error", err.Error())
+	}
+}
+
 // Options control how a fan-out executes. The zero value is the default:
 // parallel with one worker per available CPU.
 type Options struct {
@@ -125,6 +136,7 @@ func Map[R any](n int, opts Options, fn func(i int) (R, error)) ([]R, error) {
 				m.items.Add(1)
 			}
 			if err != nil {
+				logItemError(i, err)
 				return nil, err
 			}
 			out[i] = r
@@ -163,6 +175,7 @@ func Map[R any](n int, opts Options, fn func(i int) (R, error)) ([]R, error) {
 					m.items.Add(1)
 				}
 				if err != nil {
+					logItemError(j.i, err)
 					failCh <- failure{j.i, err}
 					return
 				}

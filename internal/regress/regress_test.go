@@ -1,0 +1,237 @@
+package regress
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ibox/internal/obs"
+)
+
+// sampleReport is a representative run report covering every metric class.
+func sampleReport() *obs.Report {
+	return &obs.Report{
+		GoMaxProcs:        4,
+		WallSeconds:       2.5,
+		WorkerUtilization: 0.8,
+		Stages: []obs.StageReport{
+			{Name: "fig2", Depth: 0, Seconds: 1.5},
+			{Name: "generate", Depth: 1, Seconds: 0.5},
+			{Name: "evaluate", Depth: 1, Seconds: 1.0},
+		},
+		Counters: map[string]int64{"pantheon.traces": 12, "par.capacity_ns": 2_000_000_000},
+		Gauges:   map[string]float64{"par.workers": 4},
+		Histograms: map[string]obs.HistogramSummary{
+			"par.item_ns": {Count: 24, Mean: 5e7, P50: 4e7, P90: 9e7, P99: 1.2e8},
+		},
+		Fidelity: []obs.Fidelity{{
+			Label: "table1/with-ct", Epochs: 3, FinalLoss: 1.2,
+			GradNormFirst: 4.0, GradNormLast: 1.0, GradNormMax: 4.5,
+			HeldOutWindows: 200, HeldOutNLL: 1.4,
+			PITDeviation: 0.03,
+			Coverage:     map[string]float64{"p50": 0.52, "p90": 0.88},
+		}},
+	}
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	res := CompareReports(sampleReport(), sampleReport(), DefaultThresholds())
+	if res.Failed() {
+		t.Fatalf("identical reports regressed:\n%s", res.Table())
+	}
+	if res.Regressions != 0 {
+		t.Fatalf("Regressions = %d, want 0", res.Regressions)
+	}
+}
+
+// findDelta returns the row for a metric, failing the test if absent.
+func findDelta(t *testing.T, res *Result, name string) Delta {
+	t.Helper()
+	for _, d := range res.Deltas {
+		if d.Metric == name {
+			return d
+		}
+	}
+	t.Fatalf("metric %q not in result", name)
+	return Delta{}
+}
+
+func TestCounterDriftRegresses(t *testing.T) {
+	base, new := sampleReport(), sampleReport()
+	new.Counters["pantheon.traces"] = 11
+	res := CompareReports(base, new, DefaultThresholds())
+	if !res.Failed() {
+		t.Fatal("counter drift did not regress the gate")
+	}
+	if d := findDelta(t, res, "counter.pantheon.traces"); d.Status != StatusRegressed {
+		t.Fatalf("counter delta status = %v, want REGRESSED", d.Status)
+	}
+}
+
+// TestTimeCounterJitterTolerated: _ns-suffixed counters accumulate wall
+// time, so run-to-run jitter within the time tolerance must not gate.
+func TestTimeCounterJitterTolerated(t *testing.T) {
+	base, new := sampleReport(), sampleReport()
+	new.Counters["par.capacity_ns"] = 2_200_000_000 // +10% timing noise
+	res := CompareReports(base, new, DefaultThresholds())
+	if res.Failed() {
+		t.Fatalf("capacity_ns jitter regressed the gate:\n%s", res.Table())
+	}
+	if d := findDelta(t, res, "counter.par.capacity_ns"); d.Status != StatusOK || d.Limit == "exact" {
+		t.Fatalf("capacity_ns gated as %v/%s, want time-class ok", d.Status, d.Limit)
+	}
+}
+
+func TestNLLWorseningRegresses(t *testing.T) {
+	base, new := sampleReport(), sampleReport()
+	new.Fidelity[0].HeldOutNLL = 2.2 // +57%, well past the 10% tolerance
+	res := CompareReports(base, new, DefaultThresholds())
+	if d := findDelta(t, res, "fidelity.table1/with-ct.nll"); d.Status != StatusRegressed {
+		t.Fatalf("nll delta status = %v, want REGRESSED\n%s", d.Status, res.Table())
+	}
+}
+
+func TestNLLImprovementPasses(t *testing.T) {
+	base, new := sampleReport(), sampleReport()
+	new.Fidelity[0].HeldOutNLL = 0.9
+	res := CompareReports(base, new, DefaultThresholds())
+	if res.Failed() {
+		t.Fatalf("improved NLL regressed the gate:\n%s", res.Table())
+	}
+}
+
+func TestCoverageGatesOnErrorNotValue(t *testing.T) {
+	base, new := sampleReport(), sampleReport()
+	// Moving coverage from 0.88 to 0.90 is CLOSER to nominal p90 — the
+	// gate must not flag it even though the raw value changed.
+	new.Fidelity[0].Coverage["p90"] = 0.90
+	res := CompareReports(base, new, DefaultThresholds())
+	if res.Failed() {
+		t.Fatalf("coverage moving toward nominal regressed the gate:\n%s", res.Table())
+	}
+	// Moving far from nominal must flag.
+	new.Fidelity[0].Coverage["p90"] = 0.60
+	res = CompareReports(base, new, DefaultThresholds())
+	if d := findDelta(t, res, "fidelity.table1/with-ct.coverage_err_p90"); d.Status != StatusRegressed {
+		t.Fatalf("coverage err status = %v, want REGRESSED", d.Status)
+	}
+}
+
+func TestTimeRegressionNeedsBothRelAndAbs(t *testing.T) {
+	th := DefaultThresholds()
+	base, new := sampleReport(), sampleReport()
+	// Tiny stage doubling: +100%+ relative but under the absolute floor.
+	base.Stages[1].Seconds = 0.01
+	new.Stages[1].Seconds = 0.03
+	res := CompareReports(base, new, th)
+	if res.Failed() {
+		t.Fatalf("sub-floor time jitter regressed the gate:\n%s", res.Table())
+	}
+	// Large stage blowing past both bounds must flag.
+	new.Stages[2].Seconds = 5.0
+	res = CompareReports(base, new, th)
+	if d := findDelta(t, res, "stage.fig2/evaluate.seconds"); d.Status != StatusRegressed {
+		t.Fatalf("stage time status = %v, want REGRESSED\n%s", d.Status, res.Table())
+	}
+}
+
+func TestMissingMetricRegresses(t *testing.T) {
+	base, new := sampleReport(), sampleReport()
+	new.Fidelity = nil // the silent-break case the gate exists for
+	res := CompareReports(base, new, DefaultThresholds())
+	if !res.Failed() {
+		t.Fatalf("vanished fidelity section passed the gate:\n%s", res.Table())
+	}
+	if d := findDelta(t, res, "fidelity.table1/with-ct.nll"); d.Status != StatusMissing {
+		t.Fatalf("missing metric status = %v, want MISSING", d.Status)
+	}
+	th := DefaultThresholds()
+	th.AllowMissing = true
+	if res := CompareReports(base, new, th); res.Failed() {
+		t.Fatal("AllowMissing did not downgrade missing metrics")
+	}
+}
+
+func TestSkippedMetricsNeverGate(t *testing.T) {
+	base, new := sampleReport(), sampleReport()
+	new.Gauges["par.workers"] = 16
+	new.GoMaxProcs = 16
+	res := CompareReports(base, new, DefaultThresholds())
+	if res.Failed() {
+		t.Fatalf("machine-dependent metrics regressed the gate:\n%s", res.Table())
+	}
+	if d := findDelta(t, res, "gauge.par.workers"); d.Status != StatusSkipped {
+		t.Fatalf("par.workers status = %v, want skipped", d.Status)
+	}
+}
+
+func TestBenchCompare(t *testing.T) {
+	mk := func(ns int64) *BenchSummary {
+		return &BenchSummary{
+			GoMaxProcs: 4,
+			Benchmarks: []BenchMeasurement{
+				{Name: "Fig2Ensemble", Mode: "parallel", Workers: 4, NsPerOp: ns,
+					ItemLatency: &obs.HistogramSummary{Count: 36, P50: 4e7, P99: 1e8}},
+			},
+			Speedups: map[string]float64{"Fig2Ensemble": 3.1},
+		}
+	}
+	if res := CompareBench(mk(1e9), mk(1e9), DefaultThresholds()); res.Failed() {
+		t.Fatalf("identical bench summaries regressed:\n%s", res.Table())
+	}
+	// 3x slowdown past the floor must flag.
+	res := CompareBench(mk(1e9), mk(3e9), DefaultThresholds())
+	if d := findDelta(t, res, "bench.Fig2Ensemble.parallel.ns_per_op"); d.Status != StatusRegressed {
+		t.Fatalf("ns_per_op status = %v, want REGRESSED\n%s", d.Status, res.Table())
+	}
+}
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareFilesSniffsKind(t *testing.T) {
+	dir := t.TempDir()
+	rep, bench := filepath.Join(dir, "rep.json"), filepath.Join(dir, "bench.json")
+	writeJSON(t, rep, sampleReport())
+	writeJSON(t, bench, &BenchSummary{Benchmarks: []BenchMeasurement{{Name: "X", Mode: "serial"}}})
+
+	if res, err := CompareFiles(rep, rep, DefaultThresholds()); err != nil || res.Failed() {
+		t.Fatalf("report self-compare: err=%v failed=%v", err, res != nil && res.Failed())
+	}
+	if res, err := CompareFiles(bench, bench, DefaultThresholds()); err != nil || res.Failed() {
+		t.Fatalf("bench self-compare: err=%v failed=%v", err, res != nil && res.Failed())
+	}
+	if _, err := CompareFiles(rep, bench, DefaultThresholds()); err == nil {
+		t.Fatal("mixed kinds did not error")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	base, new := sampleReport(), sampleReport()
+	new.Fidelity[0].HeldOutNLL = 2.2
+	res := CompareReports(base, new, DefaultThresholds())
+	tab := res.Table()
+	if !strings.Contains(tab, "REGRESSED") {
+		t.Fatalf("table lacks REGRESSED marker:\n%s", tab)
+	}
+	lines := strings.Split(tab, "\n")
+	// Regressions sort first: the row after the header must be the NLL row.
+	if !strings.Contains(lines[1], "fidelity.table1/with-ct.nll") {
+		t.Fatalf("regressed row not sorted first:\n%s", tab)
+	}
+	for _, l := range lines {
+		if l != strings.TrimRight(l, " ") {
+			t.Fatalf("trailing whitespace in table line %q", l)
+		}
+	}
+}
