@@ -1,54 +1,100 @@
-// Command ibox-bench measures the serial-vs-parallel wall-clock of the
-// repository's two hottest experiment paths — the Fig 2 ensemble test
-// (per-trace iBoxNet fit + counterfactual replay) and Table 1 (per-trace
-// iBoxML training + evaluation) — and writes a machine-readable summary.
+// Command ibox-bench measures the repository's performance-critical
+// paths and writes a machine-readable summary in the internal/regress
+// schema, so ibox-compare can gate on it in CI.
 //
-// The output seeds the repository's performance trajectory: each entry
-// records ns/op for serial (Workers=1) and parallel (one worker per CPU)
-// execution of the same experiment on the same seed, whose results are
-// byte-identical by construction (see internal/par).
+// Two suites:
+//
+//   - experiments (default): serial-vs-parallel wall-clock of the two
+//     hottest experiment paths — the Fig 2 ensemble test (per-trace
+//     iBoxNet fit + counterfactual replay) and Table 1 (per-trace iBoxML
+//     training + evaluation). Serial and parallel results are
+//     byte-identical by construction (see internal/par).
+//   - serve: batched-vs-unbatched serving latency of concurrent iBoxML
+//     replay bursts through the full HTTP path (see internal/serve). Both
+//     modes run on a single-worker pool, so the batched win is the
+//     micro-batched LSTM kernel, not extra parallelism — and both return
+//     byte-identical responses.
 //
 // Usage:
 //
 //	ibox-bench                         # quick scale, BENCH_parallel.json
 //	ibox-bench -scale paper -reps 5 -out bench.json
+//	ibox-bench -suite serve            # BENCH_serve.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"ibox/internal/experiments"
+	"ibox/internal/iboxml"
 	"ibox/internal/obs"
 	"ibox/internal/regress"
+	"ibox/internal/serve"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ibox-bench: ")
 	var (
-		scaleName = flag.String("scale", "quick", "experiment scale: quick or paper")
+		suite     = flag.String("suite", "experiments", "benchmark suite: experiments or serve")
+		scaleName = flag.String("scale", "quick", "experiment scale: quick or paper (experiments suite)")
 		seed      = flag.Int64("seed", 1, "experiment seed")
-		reps      = flag.Int("reps", 3, "repetitions per (benchmark, mode); the minimum is reported")
-		out       = flag.String("out", "BENCH_parallel.json", "output path for the JSON summary")
+		reps      = flag.Int("reps", 5, "repetitions per (benchmark, mode); the minimum is reported")
+		out       = flag.String("out", "", "output path for the JSON summary (default BENCH_parallel.json or BENCH_serve.json per suite)")
 	)
 	flag.Parse()
 
+	var sum regress.BenchSummary
+	switch *suite {
+	case "experiments":
+		if *out == "" {
+			*out = "BENCH_parallel.json"
+		}
+		sum = experimentsSuite(*scaleName, *seed, *reps)
+	case "serve":
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		sum = serveSuite(*seed, *reps)
+	default:
+		log.Fatalf("unknown suite %q", *suite)
+	}
+
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func experimentsSuite(scaleName string, seed int64, reps int) regress.BenchSummary {
 	var scale experiments.Scale
-	switch *scaleName {
+	switch scaleName {
 	case "quick":
 		scale = experiments.Quick()
 	case "paper":
 		scale = experiments.Paper()
 	default:
-		log.Fatalf("unknown scale %q", *scaleName)
+		log.Fatalf("unknown scale %q", scaleName)
 	}
-	scale.Seed = *seed
+	scale.Seed = seed
 
 	benchmarks := []struct {
 		name string
@@ -69,8 +115,8 @@ func main() {
 	// these files.
 	sum := regress.BenchSummary{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Scale:      *scaleName,
-		Seed:       *seed,
+		Scale:      scaleName,
+		Seed:       seed,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		Speedups:   map[string]float64{},
 	}
@@ -88,7 +134,7 @@ func main() {
 			// histogram covers exactly this (benchmark, mode)'s reps.
 			reg := obs.Enable()
 			var min time.Duration
-			for r := 0; r < *reps; r++ {
+			for r := 0; r < reps; r++ {
 				start := time.Now()
 				if err := b.run(s); err != nil {
 					log.Fatalf("%s/%s: %v", b.name, m.mode, err)
@@ -102,7 +148,7 @@ func main() {
 			meas := regress.BenchMeasurement{
 				Name: b.name, Mode: m.mode, Workers: workers,
 				GoMaxProcs: runtime.GOMAXPROCS(0),
-				NsPerOp:    min.Nanoseconds(), Seconds: min.Seconds(), Reps: *reps,
+				NsPerOp:    min.Nanoseconds(), Seconds: min.Seconds(), Reps: reps,
 			}
 			if h := reg.Histogram(obs.MetricParItemNs); h.Count() > 0 {
 				summ := h.Summary()
@@ -123,14 +169,143 @@ func main() {
 			fmt.Printf("%-14s speedup  %12.2fx\n", b.name, speedup)
 		}
 	}
+	return sum
+}
 
-	data, err := json.MarshalIndent(sum, "", "  ")
+// benchSynthTrace generates the deterministic synthetic input–output
+// trace the iboxml tests train on.
+func benchSynthTrace(seed int64, dur sim.Time) *trace.Trace {
+	rng := sim.NewRand(seed, 5)
+	tr := &trace.Trace{Protocol: "synth"}
+	ema := 0.0
+	var now sim.Time
+	seq := int64(0)
+	for now < dur {
+		phase := 2 * math.Pi * now.Seconds() / 4
+		rate := 156_250 * (1.25 + math.Sin(phase+float64(seed))) // bytes/s
+		gap := sim.Time(1500 / rate * float64(sim.Second))
+		now += gap
+		ema = 0.98*ema + 0.02*rate
+		delayMs := 20 + 60*(ema/312_500) + rng.NormFloat64()*1.0
+		if delayMs < 1 {
+			delayMs = 1
+		}
+		tr.Packets = append(tr.Packets, trace.Packet{
+			Seq: seq, Size: 1500, SendTime: now,
+			RecvTime: now + sim.Time(delayMs*float64(sim.Millisecond)),
+		})
+		seq++
+	}
+	return tr
+}
+
+// serveSuite measures concurrent iBoxML replay bursts through the HTTP
+// serving path, micro-batching on vs off, on a single-worker pool.
+func serveSuite(seed int64, reps int) regress.BenchSummary {
+	var samples []iboxml.TrainingSample
+	for i := int64(0); i < 2; i++ {
+		samples = append(samples, iboxml.TrainingSample{Trace: benchSynthTrace(seed+i, 4*sim.Second)})
+	}
+	model, err := iboxml.Train(samples, iboxml.Config{Hidden: 96, Layers: 1, Epochs: 1, Seed: seed})
+	if err != nil {
+		log.Fatalf("training bench model: %v", err)
+	}
+	dir, err := os.MkdirTemp("", "ibox-bench-serve")
 	if err != nil {
 		log.Fatal(err)
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	defer os.RemoveAll(dir)
+	const id = "bench.json"
+	if err := model.Save(dir + "/" + id); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	input := benchSynthTrace(seed+99, 4*sim.Second)
+	reqBody, err := json.Marshal(serve.SimulateRequest{Model: id, Input: input, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sum := regress.BenchSummary{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      "serve",
+		Seed:       seed,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Speedups:   map[string]float64{},
+	}
+	modes := []struct {
+		mode    string
+		noBatch bool
+	}{
+		{"unbatched", true},
+		{"batched", false},
+	}
+	for _, burst := range []int{4, 8} {
+		name := fmt.Sprintf("ServeIBoxML/burst%d", burst)
+		best := map[string]time.Duration{}
+		for _, m := range modes {
+			s, err := serve.NewServer(serve.Config{
+				ModelDir: dir,
+				// One worker pins both modes to the same CPU budget: the
+				// batched win below is the kernel, not parallel replay.
+				Workers:       1,
+				MaxConcurrent: 2 * burst,
+				NoBatch:       m.noBatch,
+				BatchWindow:   5 * time.Millisecond,
+				BatchMax:      burst,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := s.Registry().Warm([]string{id}); err != nil {
+				log.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+
+			fire := func() time.Duration {
+				start := time.Now()
+				var wg sync.WaitGroup
+				for i := 0; i < burst; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(reqBody))
+						if err != nil {
+							log.Fatalf("%s/%s: %v", name, m.mode, err)
+						}
+						defer resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							log.Fatalf("%s/%s: HTTP %d", name, m.mode, resp.StatusCode)
+						}
+						var sr serve.SimulateResponse
+						if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+							log.Fatalf("%s/%s: decode: %v", name, m.mode, err)
+						}
+					}()
+				}
+				wg.Wait()
+				return time.Since(start)
+			}
+			fire() // warm-up: model load, pool spin-up, HTTP keep-alives
+			var min time.Duration
+			for r := 0; r < reps; r++ {
+				if d := fire(); r == 0 || d < min {
+					min = d
+				}
+			}
+			ts.Close()
+			best[m.mode] = min
+			sum.Benchmarks = append(sum.Benchmarks, regress.BenchMeasurement{
+				Name: name, Mode: m.mode, Workers: 1,
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				NsPerOp:    min.Nanoseconds(), Seconds: min.Seconds(), Reps: reps,
+			})
+			fmt.Printf("%-20s %-10s %12d ns/burst  (%.3fs)\n", name, m.mode, min.Nanoseconds(), min.Seconds())
+		}
+		if b := best["batched"]; b > 0 {
+			speedup := float64(best["unbatched"]) / float64(b)
+			sum.Speedups[name] = speedup
+			fmt.Printf("%-20s speedup    %12.2fx\n", name, speedup)
+		}
+	}
+	return sum
 }

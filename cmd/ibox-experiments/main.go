@@ -25,14 +25,12 @@
 package main
 
 import (
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -40,21 +38,15 @@ import (
 	"ibox/internal/experiments"
 	"ibox/internal/obs"
 	"ibox/internal/par"
+	"ibox/internal/serve"
 )
 
 // serveDebug exposes expvar (including the live obs metric snapshot) and
-// net/http/pprof on addr, in the standard /debug/... layout.
-func serveDebug(addr string, reg *obs.Registry) {
-	expvar.Publish("ibox.obs", expvar.Func(func() any { return reg.Snapshot() }))
-	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+// net/http/pprof on addr, in the standard /debug/... layout, on a mux of
+// its own (shared with ibox-serve's -debug; see serve.DebugMux).
+func serveDebug(addr string) {
 	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
+		if err := http.ListenAndServe(addr, serve.DebugMux()); err != nil {
 			log.Printf("debug server: %v", err)
 		}
 	}()
@@ -109,7 +101,7 @@ func main() {
 		obs.SetLogger(slogger)
 	}
 	if *debugAddr != "" {
-		serveDebug(*debugAddr, reg)
+		serveDebug(*debugAddr)
 		log.Printf("serving expvar and pprof on http://%s/debug/", *debugAddr)
 	}
 

@@ -1,0 +1,117 @@
+// Command ibox-serve runs the model-serving daemon: trained iBox
+// artifacts (iBoxNet parameter profiles, iBoxML checkpoints) behind a
+// long-running HTTP/JSON API. See internal/serve and DESIGN.md's
+// "Serving architecture" section.
+//
+// Usage:
+//
+//	ibox-serve -models ./models                        # serve on :8080
+//	ibox-serve -models ./models -warm path-a.json      # preload a model
+//	ibox-serve -models ./models -debug -addr :8080     # + expvar/pprof
+//
+// Query it:
+//
+//	curl localhost:8080/v1/models
+//	curl -d '{"model":"path-a.json","protocol":"cubic","duration_s":10,"seed":1}' \
+//	     localhost:8080/v1/simulate
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: readiness flips to
+// 503, in-flight requests finish (up to -drain-timeout), then it exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ibox/internal/obs"
+	"ibox/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ibox-serve: ")
+	var (
+		addr         = flag.String("addr", ":8080", "address to listen on")
+		modelDir     = flag.String("models", "", "directory of trained model artifacts (required)")
+		maxModels    = flag.Int("max-models", 16, "how many models to keep warm (LRU beyond)")
+		warm         = flag.String("warm", "", "comma-separated model ids to preload at startup")
+		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch dispatch window")
+		batchMax     = flag.Int("batch-max", 16, "flush a micro-batch early at this many requests")
+		noBatch      = flag.Bool("no-batch", false, "disable request micro-batching (responses are byte-identical either way)")
+		workers      = flag.Int("workers", 0, "simulation pool width; 0 = one worker per CPU")
+		maxConc      = flag.Int("max-concurrency", 0, "max simulate requests executing at once; 0 = 2x workers")
+		maxQueue     = flag.Int("queue", 64, "max simulate requests waiting for a slot before shedding with 429")
+		maxBody      = flag.Int64("max-body", 8<<20, "max request body bytes")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request deadline (overridable per request via timeout_ms)")
+		debug        = flag.Bool("debug", false, "also serve /debug/vars and /debug/pprof")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if *modelDir == "" {
+		log.Fatal("-models is required")
+	}
+
+	// Serving is long-running and observable by design: metrics are always
+	// on, exported at /debug/vars when -debug is set.
+	obs.Enable()
+
+	s, err := serve.NewServer(serve.Config{
+		ModelDir:       *modelDir,
+		MaxModels:      *maxModels,
+		Workers:        *workers,
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
+		NoBatch:        *noBatch,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+		Debug:          *debug,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *warm != "" {
+		var ids []string
+		for _, id := range strings.Split(*warm, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+		if err := s.Registry().Warm(ids); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warmed %d model(s)", len(ids))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(*addr) }()
+	log.Printf("serving models from %s on %s", *modelDir, *addr)
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("draining (up to %s)...", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(dctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}

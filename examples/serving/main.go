@@ -1,0 +1,143 @@
+// Serving — the counterfactual example as an API call.
+//
+// Where examples/counterfactual fits an iBoxNet model and replays Vegas
+// over it in-process, this example publishes the learnt model through
+// ibox-serve's HTTP API and asks the *service* the counterfactual
+// question: measure Cubic on the "real" path, fit a model from that one
+// trace, save the artifact into a model directory, start the serving
+// subsystem on a loopback listener, then POST /v1/simulate to run Vegas
+// over the learnt path — and check the served answer against both the
+// ground-truth Vegas run and the equivalent offline model.Run call
+// (serving is byte-faithful: same model + seed ⇒ same trace).
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"ibox"
+	"ibox/internal/cc"
+	"ibox/internal/netsim"
+	"ibox/internal/serve"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// buildScenario runs one flow over the "real" path: 10 Mbps, 30 ms, 150 ms
+// buffer, with a 6 Mbps cross-traffic burst during [20 s, 30 s) of a 60 s
+// run (same path as examples/counterfactual).
+func buildScenario(protocol string, seed int64) *trace.Trace {
+	sched := sim.NewScheduler()
+	cfg := netsim.Config{
+		Rate:        1_250_000,
+		BufferBytes: 187_500,
+		PropDelay:   30 * sim.Millisecond,
+		Seed:        seed,
+	}
+	path := netsim.New(sched, cfg)
+	path.AddCrossTraffic(netsim.ConstantBitRate{
+		Rate: 750_000, From: 20 * sim.Second, To: 30 * sim.Second,
+	})
+	sender, err := cc.NewSender(protocol, 1500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	main := cc.NewFlow(sched, path.Port("main"), sender, cc.FlowConfig{
+		Duration: 60 * sim.Second, AckDelay: cfg.PropDelay,
+	})
+	main.Start()
+	sched.RunUntil(65 * sim.Second)
+	return main.Trace()
+}
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("measuring cubic on the real path (cross-traffic burst at 20–30 s)...")
+	cubicTrace := buildScenario("cubic", 5)
+	model, err := ibox.Fit(cubicTrace, ibox.Full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learnt:", model.Params)
+
+	// Publish the artifact: a model directory is all ibox-serve needs.
+	dir, err := os.MkdirTemp("", "ibox-serving-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	const id = "learnt-path.json"
+	if err := model.Params.Save(filepath.Join(dir, id)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Start the serving subsystem in-process on a loopback listener —
+	// exactly what `ibox-serve -models <dir>` runs.
+	srv, err := serve.NewServer(serve.Config{ModelDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	base := "http://" + l.Addr().String()
+	fmt.Println("serving", id, "on", base)
+
+	// The counterfactual, as an API call: how would Vegas have fared?
+	const seed = 3
+	reqBody, _ := json.Marshal(serve.SimulateRequest{
+		Model: id, Protocol: "vegas", DurationS: 60, Seed: seed,
+	})
+	resp, err := http.Post(base+"/v1/simulate", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("simulate: HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	var served serve.SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify the service against the offline call it fronts: same model,
+	// protocol and seed must give the same trace, packet for packet. The
+	// server stamps the result's PathID with the artifact id, so match
+	// that before comparing.
+	model.TrainTrace = id
+	offline, err := model.Run("vegas", 60*ibox.Second, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	servedJSON, _ := json.Marshal(served.Trace)
+	offlineJSON, _ := json.Marshal(offline)
+	if !bytes.Equal(servedJSON, offlineJSON) {
+		log.Fatal("served trace differs from offline model.Run — serving must be byte-faithful")
+	}
+	fmt.Printf("served == offline model.Run: %d packets, byte-identical\n", len(served.Trace.Packets))
+
+	// And against ground truth, like the counterfactual example does.
+	vegasGT := buildScenario("vegas", 6)
+	fmt.Printf("counterfactual vegas:  served %s\n                       truth  %s\n",
+		fmtM(served.Metrics), fmtM(ibox.MetricsOf(vegasGT)))
+}
+
+func fmtM(m ibox.Metrics) string {
+	return fmt.Sprintf("tput=%.2f Mbps p95=%.0f ms loss=%.2f%%", m.ThroughputMbps, m.P95DelayMs, m.LossPct)
+}

@@ -1,0 +1,120 @@
+package iboxml
+
+import (
+	"ibox/internal/nn"
+	"ibox/internal/obs"
+	"ibox/internal/trace"
+)
+
+// Batched closed-loop inference: unroll several independent traces through
+// the same trained model in lockstep, one window-step per member per
+// round, on top of nn.StepGaussianBatch. This is the amortization behind
+// request micro-batching in internal/serve — the LSTM weights stream
+// through the cache once per step for the whole batch instead of once per
+// request.
+//
+// Correctness contract: each member's arithmetic — feature extraction,
+// standardization, the closed-loop d_{t−1} feedback, and the de-
+// standardized mu/sigma clamping — is the exact operation sequence of
+// PredictWindows, and nn.StepBatch is bitwise-identical to nn.Step, so
+// batched results equal unbatched results float-for-float regardless of
+// batch composition.
+
+// PredictWindowsBatch runs the closed-loop window prediction of
+// PredictWindows for several traces at once. cts may be nil (no
+// cross-traffic estimate for any member) or must have one (possibly nil)
+// entry per trace. The returned mu/sigma slices are per-trace and bitwise
+// identical to calling PredictWindows on each (trace, ct) pair.
+func (m *Model) PredictWindowsBatch(trs []*trace.Trace, cts []*trace.Series) (mus, sigmas [][]float64) {
+	if !m.trained {
+		panic("iboxml: model not trained")
+	}
+	if cts != nil && len(cts) != len(trs) {
+		panic("iboxml: PredictWindowsBatch traces/cross-traffic length mismatch")
+	}
+	n := len(trs)
+	useCT := m.Cfg.UseCrossTraffic
+	xss := make([][][]float64, n)
+	maxT := 0
+	for i, tr := range trs {
+		var ctArg *trace.Series
+		if useCT && cts != nil {
+			ctArg = cts[i]
+		}
+		xs, _, _ := WindowFeatures(tr, ctArg, m.Cfg.Window)
+		if useCT && ctArg == nil {
+			for t := range xs {
+				xs[t] = append(xs[t], 0)
+			}
+		}
+		xss[i] = xs
+		if len(xs) > maxT {
+			maxT = len(xs)
+		}
+	}
+	preds := make([]*nn.Predictor, n)
+	mus = make([][]float64, n)
+	sigmas = make([][]float64, n)
+	for i := range preds {
+		preds[i] = m.Net.NewPredictor()
+		mus[i] = make([]float64, len(xss[i]))
+		sigmas[i] = make([]float64, len(xss[i]))
+	}
+	obs.Get().Histogram("iboxml.batch_members").Observe(int64(n))
+	// Lockstep unroll. Members whose traces span fewer windows drop out of
+	// the active set as their sequences end; each member's state advances
+	// through exactly its own inputs, so membership never changes results.
+	prevDelay := make([]float64, n)
+	active := make([]int, 0, n)
+	batchPreds := make([]*nn.Predictor, 0, n)
+	rows := make([][]float64, 0, n)
+	for t := 0; t < maxT; t++ {
+		active = active[:0]
+		batchPreds = batchPreds[:0]
+		rows = rows[:0]
+		for i := range xss {
+			if t >= len(xss[i]) {
+				continue
+			}
+			x := xss[i][t]
+			// Closed loop: overwrite the teacher-forced d_{t−1} feature
+			// with the member's own previous prediction (t=0 keeps the
+			// teacher value, exactly as PredictWindows does).
+			if t > 0 {
+				x[3] = prevDelay[i]
+			}
+			active = append(active, i)
+			batchPreds = append(batchPreds, preds[i])
+			rows = append(rows, m.xScale.apply(x))
+		}
+		outs := nn.StepGaussianBatch(batchPreds, rows)
+		for k, i := range active {
+			mu := outs[k].Mu*m.yStd + m.yMean
+			sg := outs[k].Sigma * m.yStd
+			if mu < 0 {
+				mu = 0
+			}
+			mus[i][t] = mu
+			sigmas[i][t] = sg
+			prevDelay[i] = mu
+		}
+	}
+	return mus, sigmas
+}
+
+// SimulateTraceBatch produces one predicted output trace per input, with
+// the closed-loop window predictions computed in one lockstep batch and
+// the per-packet sampling done per member from its own seed. cts may be
+// nil; seeds must have one entry per trace. Outputs are bitwise identical
+// to calling SimulateTrace(trs[i], cts[i], seeds[i]) one at a time.
+func (m *Model) SimulateTraceBatch(trs []*trace.Trace, cts []*trace.Series, seeds []int64) []*trace.Trace {
+	if len(seeds) != len(trs) {
+		panic("iboxml: SimulateTraceBatch traces/seeds length mismatch")
+	}
+	mus, sigmas := m.PredictWindowsBatch(trs, cts)
+	out := make([]*trace.Trace, len(trs))
+	for i, tr := range trs {
+		out[i] = m.samplePackets(tr, mus[i], sigmas[i], seeds[i])
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package iboxml
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// batchTestModel trains one small model shared by the batch tests.
+func batchTestModel(t testing.TB) *Model {
+	t.Helper()
+	m, err := Train(trainSamples(2, 4*sim.Second), Config{
+		Hidden: 8, Layers: 1, Epochs: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	return m
+}
+
+// TestPredictWindowsBatchMatchesSingle asserts the lockstep batched
+// closed-loop unroll is bitwise identical to per-trace PredictWindows,
+// including when members span different window counts (shorter traces
+// drop out of the active set mid-unroll).
+func TestPredictWindowsBatchMatchesSingle(t *testing.T) {
+	m := batchTestModel(t)
+	trs := []*trace.Trace{
+		synthTrace(11, 3*sim.Second),
+		synthTrace(12, 1*sim.Second), // shorter: exits the active set early
+		synthTrace(13, 2*sim.Second),
+		synthTrace(14, 3*sim.Second),
+		synthTrace(15, 500*sim.Millisecond),
+	}
+	mus, sigmas := m.PredictWindowsBatch(trs, nil)
+	for i, tr := range trs {
+		mu, sigma := m.PredictWindows(tr, nil)
+		if len(mus[i]) != len(mu) {
+			t.Fatalf("trace %d: batch %d windows, single %d", i, len(mus[i]), len(mu))
+		}
+		for w := range mu {
+			if math.Float64bits(mus[i][w]) != math.Float64bits(mu[w]) ||
+				math.Float64bits(sigmas[i][w]) != math.Float64bits(sigma[w]) {
+				t.Fatalf("trace %d window %d: batch (%v,%v) != single (%v,%v)",
+					i, w, mus[i][w], sigmas[i][w], mu[w], sigma[w])
+			}
+		}
+	}
+}
+
+// TestSimulateTraceBatchMatchesSingle checks the full serving-path
+// contract: batched simulation serializes to the same bytes as unbatched.
+func TestSimulateTraceBatchMatchesSingle(t *testing.T) {
+	m := batchTestModel(t)
+	trs := []*trace.Trace{
+		synthTrace(21, 2*sim.Second),
+		synthTrace(22, 1*sim.Second),
+		synthTrace(23, 2*sim.Second),
+		synthTrace(24, 3*sim.Second),
+	}
+	seeds := []int64{101, 102, 103, 104}
+	outs := m.SimulateTraceBatch(trs, nil, seeds)
+	for i, tr := range trs {
+		want := m.SimulateTrace(tr, nil, seeds[i])
+		var bw, bb bytes.Buffer
+		if err := json.NewEncoder(&bw).Encode(want); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewEncoder(&bb).Encode(outs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bw.Bytes(), bb.Bytes()) {
+			t.Fatalf("trace %d: batched simulation differs from unbatched", i)
+		}
+	}
+}
+
+// TestPredictWindowsBatchSingleton checks n=1 batches work (the serve
+// batcher degenerates to this under light load).
+func TestPredictWindowsBatchSingleton(t *testing.T) {
+	m := batchTestModel(t)
+	tr := synthTrace(31, 2*sim.Second)
+	mus, sigmas := m.PredictWindowsBatch([]*trace.Trace{tr}, nil)
+	mu, sigma := m.PredictWindows(tr, nil)
+	for w := range mu {
+		if math.Float64bits(mus[0][w]) != math.Float64bits(mu[w]) ||
+			math.Float64bits(sigmas[0][w]) != math.Float64bits(sigma[w]) {
+			t.Fatalf("window %d differs", w)
+		}
+	}
+}
+
+// BenchmarkSimulateTraceBatch compares one 8-member batched simulate
+// against 8 sequential unbatched ones (the serve-path amortization).
+func BenchmarkSimulateTraceBatch(b *testing.B) {
+	m, err := Train(trainSamples(2, 4*sim.Second), Config{
+		Hidden: 48, Layers: 2, Epochs: 1, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 8
+	trs := make([]*trace.Trace, n)
+	seeds := make([]int64, n)
+	for i := range trs {
+		trs[i] = synthTrace(int64(40+i), 2*sim.Second)
+		seeds[i] = int64(200 + i)
+	}
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.SimulateTraceBatch(trs, nil, seeds)
+		}
+	})
+	b.Run("unbatched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range trs {
+				m.SimulateTrace(trs[j], nil, seeds[j])
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package iboxml
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+// corpusModelBytes serializes one small trained model for corruption.
+func corpusModelBytes(t testing.TB) []byte {
+	t.Helper()
+	m, err := Train(trainSamples(1, 2*sim.Second), Config{
+		Hidden: 4, Layers: 1, Epochs: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// mutate decodes the model JSON to a generic map, applies fn, and
+// re-encodes — the easiest way to corrupt a single field.
+func mutate(t *testing.T, data []byte, fn func(map[string]any)) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshal corpus model: %v", err)
+	}
+	fn(doc)
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("marshal mutated model: %v", err)
+	}
+	return out
+}
+
+// FuzzRead checks the model deserializer never panics, and that any model
+// it accepts is fully usable: Validate passes and closed-loop inference
+// runs without panicking. This is the registry's warm-load guarantee — a
+// checkpoint either loads into a working model or is rejected.
+func FuzzRead(f *testing.F) {
+	good := corpusModelBytes(f)
+	f.Add(string(good))
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"net":{}}`)
+	f.Add(`{"net":{"kind":0,"in":4,"hidden":2,"layers":1,"params":[]}}`)
+	f.Add(`{"config":{"Window":0},"net":null}`)
+	f.Add("IBOX1\x00\x01\x02 not json at all")
+	f.Add(string(good[:len(good)/2]))
+	tr := synthTrace(9, 500*sim.Millisecond)
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Read accepted a model that fails Validate: %v", err)
+		}
+		mu, sigma := m.PredictWindows(tr, nil)
+		if len(mu) != len(sigma) {
+			t.Fatalf("inference on accepted model: %d mus, %d sigmas", len(mu), len(sigma))
+		}
+	})
+}
+
+// TestReadRejectsCorruptModels walks the corruption taxonomy the serving
+// registry must survive: truncation, wrong format, missing network,
+// impossible shapes, non-finite or nonsensical statistics.
+func TestReadRejectsCorruptModels(t *testing.T) {
+	good := corpusModelBytes(t)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"not-json", []byte("IBOX1\x00binary junk")},
+		{"truncated", good[:len(good)/2]},
+		{"empty-object", []byte("{}")},
+		{"null-net", mutate(t, good, func(d map[string]any) { d["net"] = nil })},
+		{"empty-net", mutate(t, good, func(d map[string]any) { d["net"] = map[string]any{} })},
+		{"zero-y-std", mutate(t, good, func(d map[string]any) { d["y_std"] = 0.0 })},
+		{"nan-y-mean-as-string", mutate(t, good, func(d map[string]any) { d["y_mean"] = "NaN" })},
+		{"wrong-x-std-len", mutate(t, good, func(d map[string]any) { d["x_std"] = []any{1.0} })},
+		{"negative-feature-std", mutate(t, good, func(d map[string]any) {
+			d["x_std"].([]any)[0] = -1.0
+		})},
+		{"outlier-rate-above-one", mutate(t, good, func(d map[string]any) { d["outlier_rate"] = 1.5 })},
+		{"negative-min-delay", mutate(t, good, func(d map[string]any) { d["min_delay_ms"] = -3.0 })},
+		{"zero-window", mutate(t, good, func(d map[string]any) {
+			d["config"].(map[string]any)["Window"] = 0
+		})},
+		{"ct-flag-vs-4dim-net", mutate(t, good, func(d map[string]any) {
+			d["config"].(map[string]any)["UseCrossTraffic"] = true
+		})},
+		{"wrong-tensor-count", mutate(t, good, func(d map[string]any) {
+			net := d["net"].(map[string]any)
+			net["params"] = net["params"].([]any)[:1]
+		})},
+		{"wrong-tensor-len", mutate(t, good, func(d map[string]any) {
+			p := d["net"].(map[string]any)["params"].([]any)
+			p[0] = p[0].([]any)[:1]
+		})},
+		{"huge-hidden", mutate(t, good, func(d map[string]any) {
+			d["net"].(map[string]any)["hidden"] = 1 << 30
+		})},
+		{"binary-head-net", mutate(t, good, func(d map[string]any) {
+			d["net"].(map[string]any)["kind"] = 1
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(bytes.NewReader(tc.data)); err == nil {
+				t.Fatal("Read accepted a corrupt model")
+			}
+		})
+	}
+	// Sanity: the uncorrupted bytes still load.
+	if _, err := Read(bytes.NewReader(good)); err != nil {
+		t.Fatalf("Read rejected the pristine model: %v", err)
+	}
+}

@@ -375,6 +375,14 @@ func (m *Model) PredictWindows(tr *trace.Trace, ct *trace.Series) (mu, sigma []f
 // Lost packets in the input are echoed as lost.
 func (m *Model) SimulateTrace(tr *trace.Trace, ct *trace.Series, seed int64) *trace.Trace {
 	mu, sigma := m.PredictWindows(tr, ct)
+	return m.samplePackets(tr, mu, sigma, seed)
+}
+
+// samplePackets turns per-window closed-loop delay distributions into the
+// per-packet output trace (the sampling half of SimulateTrace). It is
+// shared between the single-trace path and SimulateTraceBatch so both
+// produce identical bytes for identical (mu, sigma, seed).
+func (m *Model) samplePackets(tr *trace.Trace, mu, sigma []float64, seed int64) *trace.Trace {
 	rng := sim.NewRand(seed, 71)
 	out := &trace.Trace{Protocol: tr.Protocol + "-iboxml", PathID: tr.PathID}
 	if len(tr.Packets) == 0 {

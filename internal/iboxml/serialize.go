@@ -43,10 +43,7 @@ func Read(r io.Reader) (*Model, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("iboxml: decode model: %w", err)
 	}
-	if in.Net == nil {
-		return nil, fmt.Errorf("iboxml: serialized model has no network")
-	}
-	return &Model{
+	m := &Model{
 		Cfg: in.Cfg, Net: in.Net,
 		xScale:      scaler{Mean: in.XMean, Std: in.XStd},
 		yMean:       in.YMean,
@@ -55,7 +52,13 @@ func Read(r io.Reader) (*Model, error) {
 		minDelayMs:  in.MinDelayMs,
 		env:         in.Envelope,
 		trained:     true,
-	}, nil
+	}
+	// Reject corrupt or hand-edited checkpoints at load time rather than
+	// letting them produce NaN delays (or panic) on first use.
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // Save writes the model to a file.

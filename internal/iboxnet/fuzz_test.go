@@ -1,0 +1,107 @@
+package iboxnet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+func corpusParams() Params {
+	ct := trace.NewSeries(0, 100*sim.Millisecond, 5)
+	for i := range ct.Vals {
+		ct.Vals[i] = float64(1000 * i)
+	}
+	return Params{
+		Bandwidth:    1.25e6,
+		PropDelay:    20 * sim.Millisecond,
+		BufferBytes:  30000,
+		CrossTraffic: ct,
+		LossRate:     0.01,
+	}
+}
+
+// FuzzReadParams checks the profile deserializer never panics and that
+// anything it accepts passes Validate — the registry's guarantee that a
+// loaded iBoxNet profile can always drive the emulator.
+func FuzzReadParams(f *testing.F) {
+	var good bytes.Buffer
+	if err := corpusParams().Write(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.String())
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"Bandwidth":-1,"BufferBytes":100}`)
+	f.Add(`{"Bandwidth":1e6,"BufferBytes":100,"LossRate":1.5}`)
+	f.Add(`{"Bandwidth":1e6,"BufferBytes":100,"CrossTraffic":{"Step":0,"Vals":[1]}}`)
+	f.Add("IBOX1\x00\x01 not json")
+	f.Add(good.String()[:good.Len()/2])
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ReadParams(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ReadParams accepted params that fail Validate: %v", err)
+		}
+	})
+}
+
+// TestReadParamsRejectsCorrupt covers the corruption taxonomy for iBoxNet
+// profiles: truncation, wrong format, non-physical values, and broken
+// cross-traffic series.
+func TestReadParamsRejectsCorrupt(t *testing.T) {
+	var good bytes.Buffer
+	if err := corpusParams().Write(&good); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func(map[string]any)) []byte {
+		var doc map[string]any
+		if err := json.Unmarshal(good.Bytes(), &doc); err != nil {
+			t.Fatalf("unmarshal corpus params: %v", err)
+		}
+		fn(doc)
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("marshal mutated params: %v", err)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"not-json", []byte("IBOX1\x00binary junk")},
+		{"truncated", good.Bytes()[:good.Len()/2]},
+		{"empty-object", []byte("{}")},
+		{"negative-bandwidth", mutate(func(d map[string]any) { d["Bandwidth"] = -1.0 })},
+		{"bandwidth-as-string", mutate(func(d map[string]any) { d["Bandwidth"] = "fast" })},
+		{"zero-buffer", mutate(func(d map[string]any) { d["BufferBytes"] = 0 })},
+		{"negative-prop-delay", mutate(func(d map[string]any) { d["PropDelay"] = -5 })},
+		{"loss-above-one", mutate(func(d map[string]any) { d["LossRate"] = 1.5 })},
+		{"ct-zero-step", mutate(func(d map[string]any) {
+			d["CrossTraffic"].(map[string]any)["Step"] = 0
+		})},
+		{"ct-no-windows", mutate(func(d map[string]any) {
+			d["CrossTraffic"].(map[string]any)["Vals"] = []any{}
+		})},
+		{"ct-negative-window", mutate(func(d map[string]any) {
+			d["CrossTraffic"].(map[string]any)["Vals"].([]any)[2] = -1.0
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadParams(bytes.NewReader(tc.data)); err == nil {
+				t.Fatal("ReadParams accepted corrupt params")
+			}
+		})
+	}
+	if _, err := ReadParams(bytes.NewReader(good.Bytes())); err != nil {
+		t.Fatalf("ReadParams rejected the pristine params: %v", err)
+	}
+}

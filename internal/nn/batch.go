@@ -1,0 +1,152 @@
+package nn
+
+import "math"
+
+// Batched inference: advance several independent recurrent states one
+// timestep each through the *same* weight stack. This is the kernel behind
+// request micro-batching in the serving layer (internal/serve): per step
+// the weights are streamed once for the whole batch instead of once per
+// request, and the B dot-product accumulator chains are interleaved, so
+// the matvec becomes throughput-bound instead of latency-bound.
+//
+// Correctness contract: for every member b, the arithmetic is the exact
+// operation sequence of the unbatched path — per gate row the bias is
+// loaded first, then the input terms accumulate in ascending k, then the
+// recurrent terms in ascending k — so batched and unbatched inference
+// produce bitwise-identical floats. The serving determinism tests assert
+// this end to end; TestStepBatchMatchesStep asserts it per step.
+
+// StepBatch advances n independent states one timestep each, where
+// states[b] is fed input xs[b]. It returns the top-layer hidden vector
+// and the new state per member; input states are not modified. Results
+// are bitwise identical to calling Step on each (state, x) pair.
+//
+// Unlike Step, StepBatch allocates no BPTT caches, so it is also the
+// preferred single-member inference step for hot serving paths (n = 1 is
+// valid).
+func (m *LSTM) StepBatch(states []*State, xs [][]float64) ([][]float64, []*State) {
+	n := len(states)
+	if n != len(xs) {
+		panic("nn: StepBatch states/inputs length mismatch")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	L := len(m.Layers)
+	ns := make([]*State, n)
+	for b := 0; b < n; b++ {
+		ns[b] = &State{h: make([][]float64, L), c: make([][]float64, L)}
+	}
+	ins := xs
+	// pre[b] holds member b's 4H gate pre-activations for the current
+	// layer; reused across layers.
+	pre := make([][]float64, n)
+	hPrev := make([][]float64, n)
+	for li, l := range m.Layers {
+		H := l.Hidden
+		for b := 0; b < n; b++ {
+			if len(pre[b]) < 4*H {
+				pre[b] = make([]float64, 4*H)
+			}
+			hPrev[b] = states[b].h[li]
+		}
+		// Gate pre-activations, weight-row outer / member blocks of four
+		// inner: each scalar of Wx and Wh is loaded once per block instead
+		// of once per member, and the four accumulator chains live in
+		// registers, so the dot products are throughput- rather than
+		// latency-bound. Per member the operation order is identical to
+		// LSTMLayer.step — bias first, then the input terms in ascending k,
+		// then the recurrent terms in ascending k — so the result is
+		// bitwise equal to the unbatched step.
+		for b := 0; b+4 <= n; b += 4 {
+			x0, x1, x2, x3 := ins[b], ins[b+1], ins[b+2], ins[b+3]
+			h0, h1, h2, h3 := hPrev[b], hPrev[b+1], hPrev[b+2], hPrev[b+3]
+			p0, p1, p2, p3 := pre[b], pre[b+1], pre[b+2], pre[b+3]
+			for j := 0; j < 4*H; j++ {
+				bj := l.B.W[j]
+				a0, a1, a2, a3 := bj, bj, bj, bj
+				rx := l.Wx.W[j*l.In : (j+1)*l.In]
+				for k, w := range rx {
+					a0 += w * x0[k]
+					a1 += w * x1[k]
+					a2 += w * x2[k]
+					a3 += w * x3[k]
+				}
+				rh := l.Wh.W[j*H : (j+1)*H]
+				for k, w := range rh {
+					a0 += w * h0[k]
+					a1 += w * h1[k]
+					a2 += w * h2[k]
+					a3 += w * h3[k]
+				}
+				p0[j], p1[j], p2[j], p3[j] = a0, a1, a2, a3
+			}
+		}
+		// Remainder members (n mod 4), one at a time.
+		for b := n - n%4; b < n; b++ {
+			x, hp, p := ins[b], hPrev[b], pre[b]
+			for j := 0; j < 4*H; j++ {
+				s := l.B.W[j]
+				rx := l.Wx.W[j*l.In : (j+1)*l.In]
+				for k, w := range rx {
+					s += w * x[k]
+				}
+				rh := l.Wh.W[j*H : (j+1)*H]
+				for k, w := range rh {
+					s += w * hp[k]
+				}
+				p[j] = s
+			}
+		}
+		outs := make([][]float64, n)
+		for b := 0; b < n; b++ {
+			p := pre[b]
+			cp := states[b].c[li]
+			h := make([]float64, H)
+			c := make([]float64, H)
+			for j := 0; j < H; j++ {
+				ig := sigmoid(p[j])
+				fg := sigmoid(p[H+j])
+				gg := math.Tanh(p[2*H+j])
+				og := sigmoid(p[3*H+j])
+				c[j] = fg*cp[j] + ig*gg
+				h[j] = og * math.Tanh(c[j])
+			}
+			ns[b].h[li] = h
+			ns[b].c[li] = c
+			outs[b] = h
+		}
+		ins = outs
+	}
+	return ins, ns
+}
+
+// StepGaussianBatch advances several Predictors — which must all wrap the
+// same SequenceModel — one timestep each, feeding xs[b] to ps[b], and
+// returns the predicted delay distribution per member. Each predictor's
+// recurrent state advances exactly as StepGaussian would have advanced
+// it: outputs are bitwise identical to the unbatched path regardless of
+// batch composition or order.
+func StepGaussianBatch(ps []*Predictor, xs [][]float64) []GaussianOutput {
+	if len(ps) == 0 {
+		return nil
+	}
+	if len(ps) != len(xs) {
+		panic("nn: StepGaussianBatch predictors/inputs length mismatch")
+	}
+	model := ps[0].model
+	states := make([]*State, len(ps))
+	for i, p := range ps {
+		if p.model != model {
+			panic("nn: StepGaussianBatch predictors span different models")
+		}
+		states[i] = p.state
+	}
+	hs, ns := model.LSTM.StepBatch(states, xs)
+	out := make([]GaussianOutput, len(ps))
+	for i, p := range ps {
+		p.state = ns[i]
+		out[i] = gaussianFromHead(model.Head.Forward(hs[i]))
+	}
+	return out
+}

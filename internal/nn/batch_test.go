@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+// randSeq generates a deterministic pseudo-random input sequence.
+func randSeq(seed int64, steps, dim int) [][]float64 {
+	rng := sim.NewRand(seed, 11)
+	xs := make([][]float64, steps)
+	for t := range xs {
+		xs[t] = make([]float64, dim)
+		for k := range xs[t] {
+			xs[t][k] = rng.NormFloat64()
+		}
+	}
+	return xs
+}
+
+// TestStepBatchMatchesStep asserts the batched step is bitwise identical
+// to the unbatched one, member by member, across multiple steps and batch
+// sizes (including 1).
+func TestStepBatchMatchesStep(t *testing.T) {
+	const in, hidden, layers = 4, 6, 2
+	lstm := NewLSTM(in, hidden, layers, 42)
+	for _, n := range []int{1, 2, 5, 8} {
+		seqs := make([][][]float64, n)
+		for b := range seqs {
+			seqs[b] = randSeq(int64(100+b), 7, in)
+		}
+		// Unbatched reference.
+		refStates := make([]*State, n)
+		for b := range refStates {
+			refStates[b] = lstm.NewState()
+		}
+		refOuts := make([][][]float64, n)
+		for b := 0; b < n; b++ {
+			for t := 0; t < 7; t++ {
+				var h []float64
+				h, refStates[b] = lstm.Step(refStates[b], seqs[b][t])
+				refOuts[b] = append(refOuts[b], h)
+			}
+		}
+		// Batched.
+		states := make([]*State, n)
+		for b := range states {
+			states[b] = lstm.NewState()
+		}
+		for tstep := 0; tstep < 7; tstep++ {
+			xs := make([][]float64, n)
+			for b := range xs {
+				xs[b] = seqs[b][tstep]
+			}
+			var hs [][]float64
+			hs, states = lstm.StepBatch(states, xs)
+			for b := 0; b < n; b++ {
+				for j := range hs[b] {
+					if math.Float64bits(hs[b][j]) != math.Float64bits(refOuts[b][tstep][j]) {
+						t.Fatalf("n=%d member %d step %d h[%d]: batch %v != step %v",
+							n, b, tstep, j, hs[b][j], refOuts[b][tstep][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStepGaussianBatchMatchesStepGaussian checks the full predictor path
+// (LSTM step + dense head + clamped head mapping) bitwise.
+func TestStepGaussianBatchMatchesStepGaussian(t *testing.T) {
+	m := NewSequenceModel(GaussianHead, 4, 5, 2, 7)
+	const n, steps = 4, 9
+	seqs := make([][][]float64, n)
+	for b := range seqs {
+		seqs[b] = randSeq(int64(200+b), steps, 4)
+	}
+	ref := make([][]GaussianOutput, n)
+	for b := 0; b < n; b++ {
+		p := m.NewPredictor()
+		for t := 0; t < steps; t++ {
+			ref[b] = append(ref[b], p.StepGaussian(seqs[b][t]))
+		}
+	}
+	ps := make([]*Predictor, n)
+	for b := range ps {
+		ps[b] = m.NewPredictor()
+	}
+	for tstep := 0; tstep < steps; tstep++ {
+		xs := make([][]float64, n)
+		for b := range xs {
+			xs[b] = seqs[b][tstep]
+		}
+		outs := StepGaussianBatch(ps, xs)
+		for b, o := range outs {
+			want := ref[b][tstep]
+			if math.Float64bits(o.Mu) != math.Float64bits(want.Mu) ||
+				math.Float64bits(o.Sigma) != math.Float64bits(want.Sigma) {
+				t.Fatalf("member %d step %d: batch (%v,%v) != single (%v,%v)",
+					b, tstep, o.Mu, o.Sigma, want.Mu, want.Sigma)
+			}
+		}
+	}
+}
+
+func TestStepGaussianBatchPanicsOnMixedModels(t *testing.T) {
+	m1 := NewSequenceModel(GaussianHead, 2, 3, 1, 1)
+	m2 := NewSequenceModel(GaussianHead, 2, 3, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for predictors over different models")
+		}
+	}()
+	StepGaussianBatch([]*Predictor{m1.NewPredictor(), m2.NewPredictor()},
+		[][]float64{{0, 0}, {0, 0}})
+}
+
+// BenchmarkStepBatch measures the amortization: one batched step for 8
+// members vs 8 unbatched steps.
+func BenchmarkStepBatch(b *testing.B) {
+	lstm := NewLSTM(4, 24, 2, 3)
+	const n = 8
+	xs := make([][]float64, n)
+	states := make([]*State, n)
+	for i := range xs {
+		xs[i] = randSeq(int64(i), 1, 4)[0]
+		states[i] = lstm.NewState()
+	}
+	b.Run("batched", func(b *testing.B) {
+		s := append([]*State(nil), states...)
+		for i := 0; i < b.N; i++ {
+			_, s = lstm.StepBatch(s, xs)
+		}
+	})
+	b.Run("unbatched", func(b *testing.B) {
+		s := append([]*State(nil), states...)
+		for i := 0; i < b.N; i++ {
+			for m := 0; m < n; m++ {
+				_, s[m] = lstm.Step(s[m], xs[m])
+			}
+		}
+	})
+}

@@ -34,6 +34,23 @@ func (m *SequenceModel) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("nn: decode sequence model: %w", err)
 	}
+	// Validate the architecture before building it: NewSequenceModel
+	// panics on impossible shapes, and a corrupt or truncated checkpoint
+	// must surface as an error, not a crash.
+	if in.Kind != GaussianHead && in.Kind != BinaryHead {
+		return fmt.Errorf("nn: serialized model has unknown head kind %d", in.Kind)
+	}
+	if in.In <= 0 || in.Hidden <= 0 || in.Layers <= 0 {
+		return fmt.Errorf("nn: serialized model has impossible shape in=%d hidden=%d layers=%d",
+			in.In, in.Hidden, in.Layers)
+	}
+	// Cap the shape well above any model this codebase trains (the paper's
+	// largest is ≈2M parameters) so a corrupted size field cannot demand a
+	// multi-gigabyte allocation before the weight count check runs.
+	if in.In > 4096 || in.Hidden > 4096 || in.Layers > 64 {
+		return fmt.Errorf("nn: serialized model shape in=%d hidden=%d layers=%d is implausibly large",
+			in.In, in.Hidden, in.Layers)
+	}
 	restored := NewSequenceModel(in.Kind, in.In, in.Hidden, in.Layers, 0)
 	params := restored.Params()
 	if len(params) != len(in.Params) {

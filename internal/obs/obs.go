@@ -187,6 +187,21 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(floatBits(v))
 }
 
+// Add atomically adjusts the gauge by delta; no-op on a nil handle. It
+// makes a gauge usable as a level meter (queue depth, in-flight count)
+// maintained by concurrent increments and decrements.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(floatFromBits(old)+delta)) {
+			return
+		}
+	}
+}
+
 // Value reads the gauge; 0 on a nil handle.
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -1,0 +1,136 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() error {
+				n.Add(1)
+				return nil
+			}); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d jobs, want 100", n.Load())
+	}
+}
+
+func TestPoolPropagatesJobError(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	want := errors.New("boom")
+	if err := p.Do(context.Background(), func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Do returned %v, want %v", err, want)
+	}
+}
+
+// TestPoolContextWhileQueued checks a job whose context expires before a
+// worker picks it up never runs.
+func TestPoolContextWhileQueued(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() error {
+		close(started)
+		<-block
+		return nil
+	})
+	<-started // the only worker is now occupied
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := p.Do(ctx, func() error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do returned %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("job ran despite expired context")
+	}
+	close(block)
+}
+
+// TestPoolContextWhileRunning checks Do returns promptly when the context
+// expires mid-job, while the job itself still completes on the worker.
+func TestPoolContextWhileRunning(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	finished := make(chan struct{})
+	entered := make(chan struct{})
+	err := p.Do(ctx, func() error {
+		close(entered)
+		cancel()
+		// Simulate work that outlives the caller's deadline.
+		time.Sleep(10 * time.Millisecond)
+		close(finished)
+		return nil
+	})
+	<-entered
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do returned %v, want context.Canceled", err)
+	}
+	select {
+	case <-finished:
+	case <-time.After(time.Second):
+		t.Fatal("job did not run to completion after caller gave up")
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Do(context.Background(), func() error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Do after Close returned %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolCloseWaitsForInFlight checks Close blocks until running jobs
+// finish.
+func TestPoolCloseWaitsForInFlight(t *testing.T) {
+	p := NewPool(1)
+	var done atomic.Bool
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() error {
+		close(started)
+		time.Sleep(20 * time.Millisecond)
+		done.Store(true)
+		return nil
+	})
+	<-started
+	p.Close()
+	if !done.Load() {
+		t.Fatal("Close returned before the in-flight job finished")
+	}
+}
+
+func TestPoolWorkers(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", p.Workers())
+	}
+	q := NewPool(0)
+	defer q.Close()
+	if q.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1 for non-positive request", q.Workers())
+	}
+}

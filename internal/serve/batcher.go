@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ibox/internal/iboxml"
+	"ibox/internal/obs"
+	"ibox/internal/par"
+	"ibox/internal/trace"
+)
+
+// batcher micro-batches iBoxML replay requests. Requests arriving within
+// one dispatch window for the same model checkpoint are simulated in a
+// single iboxml.SimulateTraceBatch call, which streams the LSTM weights
+// through the cache once per step for the whole group instead of once
+// per request. Because the batched kernel is bitwise-identical to the
+// unbatched one, batching changes only latency and throughput — never a
+// single response byte — so it can be toggled freely (Config.NoBatch).
+type batcher struct {
+	pool   *par.Pool
+	window time.Duration
+	max    int
+
+	mu      sync.Mutex
+	pending map[*iboxml.Model]*group
+
+	sizeHist *obs.Histogram
+	batches  *obs.Counter
+}
+
+// group is the accumulating batch for one model.
+type group struct {
+	jobs  []batchJob
+	timer *time.Timer
+}
+
+type batchJob struct {
+	input *trace.Trace
+	seed  int64
+	res   chan batchResult
+}
+
+type batchResult struct {
+	out  *trace.Trace
+	size int // how many requests shared the batch
+	err  error
+}
+
+func newBatcher(pool *par.Pool, window time.Duration, max int) *batcher {
+	if window <= 0 {
+		window = 2 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 16
+	}
+	b := &batcher{
+		pool:    pool,
+		window:  window,
+		max:     max,
+		pending: make(map[*iboxml.Model]*group),
+	}
+	if r := obs.Get(); r != nil {
+		b.sizeHist = r.Histogram("serve.batch_size")
+		b.batches = r.Counter("serve.batches")
+	}
+	return b
+}
+
+// submit enqueues one replay and waits for its result. The request joins
+// the model's open dispatch window (opening one if none is open); the
+// group flushes when the window elapses or it reaches max requests. If
+// ctx expires first, submit returns early but the simulation still runs
+// with its batch — results for abandoned requests are discarded.
+func (b *batcher) submit(ctx context.Context, m *iboxml.Model, input *trace.Trace, seed int64) (*trace.Trace, int, error) {
+	j := batchJob{input: input, seed: seed, res: make(chan batchResult, 1)}
+	b.mu.Lock()
+	g := b.pending[m]
+	if g == nil {
+		g = &group{}
+		b.pending[m] = g
+		g.timer = time.AfterFunc(b.window, func() { b.flush(m, g) })
+	}
+	g.jobs = append(g.jobs, j)
+	if len(g.jobs) >= b.max {
+		g.timer.Stop()
+		b.mu.Unlock()
+		b.flush(m, g)
+	} else {
+		b.mu.Unlock()
+	}
+	select {
+	case r := <-j.res:
+		return r.out, r.size, r.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// flush closes the group's window and simulates it as one batch on the
+// pool. Safe to race between the timer and the size trigger: whoever
+// removes the group from pending runs it; the other call finds it gone.
+func (b *batcher) flush(m *iboxml.Model, g *group) {
+	b.mu.Lock()
+	if b.pending[m] != g {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.pending, m)
+	jobs := g.jobs
+	b.mu.Unlock()
+
+	b.sizeHist.Observe(int64(len(jobs)))
+	b.batches.Add(1)
+	go func() {
+		err := b.pool.Do(context.Background(), func() error {
+			trs := make([]*trace.Trace, len(jobs))
+			seeds := make([]int64, len(jobs))
+			for i, j := range jobs {
+				trs[i] = j.input
+				seeds[i] = j.seed
+			}
+			outs := m.SimulateTraceBatch(trs, nil, seeds)
+			for i, j := range jobs {
+				j.res <- batchResult{out: outs[i], size: len(jobs)}
+			}
+			return nil
+		})
+		if err != nil {
+			for _, j := range jobs {
+				j.res <- batchResult{err: err}
+			}
+		}
+	}()
+}

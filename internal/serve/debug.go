@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"ibox/internal/obs"
+)
+
+// publishOnce guards the process-global expvar name: expvar.Publish
+// panics on re-registration, and both ibox-serve and ibox-experiments
+// (and tests) may build debug muxes in one process.
+var publishOnce sync.Once
+
+// DebugMux returns a mux serving expvar (including the live obs metric
+// snapshot under "ibox.obs") and net/http/pprof in the standard
+// /debug/... layout, on its own ServeMux so importing packages can't
+// leak handlers into the debug server via http.DefaultServeMux. The
+// snapshot reads obs.Get() at request time, so it follows whichever
+// registry is active.
+func DebugMux() *http.ServeMux {
+	publishOnce.Do(func() {
+		expvar.Publish("ibox.obs", expvar.Func(func() any {
+			r := obs.Get()
+			if r == nil {
+				return nil
+			}
+			return r.Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,278 @@
+// Package serve is the online-serving subsystem: it exposes the trained
+// path models (iBoxNet parameter profiles, iBoxML checkpoints) behind a
+// long-running HTTP/JSON service, so a counterfactual query — "how would
+// protocol B have fared on this path?" — is an API call rather than a
+// batch experiment run. The pieces:
+//
+//   - Registry: a thread-safe warm model cache over a directory of
+//     artifacts, with lazy single-flight loading and LRU eviction;
+//   - batcher: request micro-batching for iBoxML replay, amortizing the
+//     LSTM weight streaming across concurrent requests (see
+//     iboxml.SimulateTraceBatch);
+//   - Server: the HTTP front door with admission control — bounded
+//     queue, load shedding, per-request deadlines, graceful drain.
+//
+// Serving is a faithful frontend to the offline code paths: a simulate
+// response is byte-identical to the equivalent core/iboxml call with the
+// same model, inputs and seed, whether or not the request was batched.
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"ibox/internal/iboxml"
+	"ibox/internal/iboxnet"
+	"ibox/internal/obs"
+)
+
+// Kind identifies what a registry entry can simulate.
+type Kind string
+
+const (
+	// KindIBoxNet is a parameter profile driving the §3 emulator; requests
+	// name a congestion-control protocol to run over it.
+	KindIBoxNet Kind = "iboxnet"
+	// KindIBoxML is a trained §4 LSTM checkpoint; requests supply a
+	// send-side input trace to replay through it.
+	KindIBoxML Kind = "iboxml"
+)
+
+// maxModelFileBytes bounds how much of a model file the registry will
+// read; anything larger than this is not a model this codebase produces.
+const maxModelFileBytes = 256 << 20
+
+// Model is a loaded, immutable registry entry. Exactly one of Net/ML is
+// set, per Kind. Handed-out entries stay valid after eviction — eviction
+// only drops the registry's reference.
+type Model struct {
+	ID        string
+	Kind      Kind
+	Net       iboxnet.Params // when Kind == KindIBoxNet
+	ML        *iboxml.Model  // when Kind == KindIBoxML
+	SizeBytes int64
+}
+
+// entry is a cache slot. ready is closed when the load attempt finishes;
+// concurrent Gets for the same id wait on it instead of loading twice
+// (single-flight).
+type entry struct {
+	ready chan struct{}
+	model *Model
+	err   error
+	elem  *list.Element // position in the LRU list; nil while loading
+}
+
+// Registry is the warm model cache: a directory of trained artifacts,
+// loaded lazily on first request, kept warm up to a capacity, evicted
+// least-recently-used beyond it.
+type Registry struct {
+	dir string
+	max int
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // of string ids; front = most recently used
+
+	hits, misses, evictions, loadErrors *obs.Counter
+	loaded                              *obs.Gauge
+}
+
+// NewRegistry returns a registry over dir holding at most max models
+// warm (max <= 0 selects 16).
+func NewRegistry(dir string, max int) *Registry {
+	if max <= 0 {
+		max = 16
+	}
+	r := &Registry{
+		dir:     dir,
+		max:     max,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+	if reg := obs.Get(); reg != nil {
+		r.hits = reg.Counter("serve.model_hits")
+		r.misses = reg.Counter("serve.model_misses")
+		r.evictions = reg.Counter("serve.model_evictions")
+		r.loadErrors = reg.Counter("serve.model_load_errors")
+		r.loaded = reg.Gauge("serve.models_loaded")
+	}
+	return r
+}
+
+// ErrInvalidModelID marks ids rejected before touching the filesystem —
+// a client error, not a load failure.
+var ErrInvalidModelID = errors.New("serve: invalid model id")
+
+// validID rejects ids that could escape the model directory or that name
+// hidden files. Models are plain files directly inside the directory.
+func validID(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty", ErrInvalidModelID)
+	}
+	if strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") || strings.HasPrefix(id, ".") {
+		return fmt.Errorf("%w: %q", ErrInvalidModelID, id)
+	}
+	return nil
+}
+
+// Get returns the model with the given id, loading it from disk on first
+// use. Concurrent requests for the same cold model share one load.
+func (r *Registry) Get(id string) (*Model, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if e, ok := r.entries[id]; ok {
+		r.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		r.touch(e)
+		r.hits.Add(1)
+		return e.model, nil
+	}
+	e := &entry{ready: make(chan struct{})}
+	r.entries[id] = e
+	r.mu.Unlock()
+	r.misses.Add(1)
+
+	m, err := loadModel(filepath.Join(r.dir, id), id)
+	r.mu.Lock()
+	e.model, e.err = m, err
+	if err != nil {
+		// A failed load is not cached: the file may appear (or be fixed)
+		// later, and a permanent negative entry would pin the failure.
+		delete(r.entries, id)
+		r.loadErrors.Add(1)
+	} else {
+		e.elem = r.lru.PushFront(id)
+		r.loaded.Set(float64(r.lru.Len()))
+		r.evict()
+	}
+	r.mu.Unlock()
+	close(e.ready)
+	return m, err
+}
+
+// touch moves a loaded entry to the LRU front.
+func (r *Registry) touch(e *entry) {
+	r.mu.Lock()
+	if e.elem != nil {
+		r.lru.MoveToFront(e.elem)
+	}
+	r.mu.Unlock()
+}
+
+// evict drops least-recently-used loaded entries beyond capacity. Caller
+// holds r.mu. In-flight loads are not in the LRU list and never evict.
+func (r *Registry) evict() {
+	for r.lru.Len() > r.max {
+		back := r.lru.Back()
+		id := back.Value.(string)
+		r.lru.Remove(back)
+		delete(r.entries, id)
+		r.evictions.Add(1)
+	}
+	r.loaded.Set(float64(r.lru.Len()))
+}
+
+// Warm preloads the given ids (e.g. from a -warm flag at startup),
+// returning the first error.
+func (r *Registry) Warm(ids []string) error {
+	for _, id := range ids {
+		if _, err := r.Get(id); err != nil {
+			return fmt.Errorf("serve: warming %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// ModelInfo describes one model file for GET /v1/models.
+type ModelInfo struct {
+	ID        string `json:"id"`
+	SizeBytes int64  `json:"size_bytes"`
+	Loaded    bool   `json:"loaded"`
+	Kind      Kind   `json:"kind,omitempty"` // known only once loaded
+}
+
+// List enumerates the model files in the directory (sorted by id) and
+// whether each is currently warm.
+func (r *Registry) List() ([]ModelInfo, error) {
+	des, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listing models: %w", err)
+	}
+	r.mu.Lock()
+	warm := make(map[string]Kind, len(r.entries))
+	for id, e := range r.entries {
+		if e.elem != nil && e.model != nil {
+			warm[id] = e.model.Kind
+		}
+	}
+	r.mu.Unlock()
+	var out []ModelInfo
+	for _, de := range des {
+		if de.IsDir() || strings.HasPrefix(de.Name(), ".") {
+			continue
+		}
+		info := ModelInfo{ID: de.Name()}
+		if fi, err := de.Info(); err == nil {
+			info.SizeBytes = fi.Size()
+		}
+		if k, ok := warm[de.Name()]; ok {
+			info.Loaded = true
+			info.Kind = k
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// loadModel reads one artifact from disk, sniffing its kind from the JSON
+// top level: an iBoxML checkpoint has a "net" object, an iBoxNet profile
+// a "Bandwidth" field. Both deserializers validate, so a corrupt file is
+// rejected here and never enters the cache.
+func loadModel(path, id string) (*Model, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() > maxModelFileBytes {
+		return nil, fmt.Errorf("serve: model %s is %d bytes, over the %d-byte limit", id, fi.Size(), int64(maxModelFileBytes))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return nil, fmt.Errorf("serve: model %s is not a JSON object: %w", id, err)
+	}
+	switch {
+	case top["net"] != nil || top["config"] != nil:
+		ml, err := iboxml.Read(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("serve: model %s: %w", id, err)
+		}
+		return &Model{ID: id, Kind: KindIBoxML, ML: ml, SizeBytes: fi.Size()}, nil
+	case top["Bandwidth"] != nil:
+		p, err := iboxnet.ReadParams(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("serve: model %s: %w", id, err)
+		}
+		return &Model{ID: id, Kind: KindIBoxNet, Net: p, SizeBytes: fi.Size()}, nil
+	default:
+		return nil, fmt.Errorf("serve: model %s is neither an iBoxML checkpoint (no \"net\") nor an iBoxNet profile (no \"Bandwidth\")", id)
+	}
+}

@@ -1,0 +1,440 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ibox/internal/cc"
+	"ibox/internal/core"
+	"ibox/internal/iboxnet"
+	"ibox/internal/obs"
+	"ibox/internal/par"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// Config parameterizes a Server. Zero values select serving defaults.
+type Config struct {
+	// ModelDir is the directory of trained artifacts the registry serves.
+	ModelDir string
+	// MaxModels bounds how many models stay warm (LRU beyond); default 16.
+	MaxModels int
+	// Workers sizes the shared simulation pool; default GOMAXPROCS. Every
+	// CPU-bound stage — batched or not — runs on this one pool, so
+	// concurrent requests cannot oversubscribe the cores.
+	Workers int
+	// BatchWindow is the micro-batch dispatch window; default 2ms.
+	BatchWindow time.Duration
+	// BatchMax flushes a batch early once this many requests joined it;
+	// default 16.
+	BatchMax int
+	// NoBatch disables micro-batching (each iBoxML replay simulates
+	// alone). Responses are byte-identical either way.
+	NoBatch bool
+	// MaxConcurrent bounds simultaneously-executing simulate requests;
+	// default 2×Workers.
+	MaxConcurrent int
+	// MaxQueue bounds simulate requests waiting for an execution slot;
+	// beyond it requests are shed with 429 + Retry-After. Default 64.
+	MaxQueue int
+	// MaxBodyBytes bounds a request body; default 8 MiB.
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-request deadline when the request doesn't
+	// set timeout_ms; default 30s.
+	DefaultTimeout time.Duration
+	// Debug mounts /debug/vars and /debug/pprof on the server mux.
+	Debug bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxModels <= 0 {
+		c.MaxModels = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * c.Workers
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// SimulateRequest is the body of POST /v1/simulate.
+//
+// For an iBoxNet model, set protocol (and optionally duration_s, variant)
+// to run a congestion-control sender over the learnt path. For an iBoxML
+// model, set input to the send-side trace to replay; hierarchical selects
+// the amortized §4.2 predictor instead of the windowed closed-loop one.
+type SimulateRequest struct {
+	Model string `json:"model"`
+	Seed  int64  `json:"seed"`
+
+	Protocol  string  `json:"protocol,omitempty"`
+	DurationS float64 `json:"duration_s,omitempty"`
+	Variant   string  `json:"variant,omitempty"`
+
+	Input        *trace.Trace `json:"input,omitempty"`
+	Hierarchical bool         `json:"hierarchical,omitempty"`
+
+	// TimeoutMs overrides the server's default per-request deadline.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// SimulateResponse is the body of a successful POST /v1/simulate. Its
+// JSON encoding is byte-identical to encoding the offline simulation
+// result the same way — serving adds no fields that depend on timing,
+// batching, or concurrency (such diagnostics travel in headers).
+type SimulateResponse struct {
+	Model   string       `json:"model"`
+	Kind    Kind         `json:"kind"`
+	Metrics core.Metrics `json:"metrics"`
+	Trace   *trace.Trace `json:"trace"`
+}
+
+// errorResponse is the body of any non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// batchSizeHeader reports how many requests shared the micro-batch that
+// produced this response (absent for non-batched paths).
+const batchSizeHeader = "X-Ibox-Batch-Size"
+
+// Server is the ibox-serve HTTP service.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	pool     *par.Pool
+	batch    *batcher
+	mux      *http.ServeMux
+	http     *http.Server
+
+	sem      chan struct{}
+	waiting  atomic.Int64
+	draining atomic.Bool
+
+	queueGauge    *obs.Gauge
+	inflightGauge *obs.Gauge
+	shed          *obs.Counter
+	requests      *obs.Counter
+	errors        *obs.Counter
+	simulateHist  *obs.Histogram
+	modelsHist    *obs.Histogram
+}
+
+// NewServer builds a server over cfg.ModelDir. The directory must exist.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ModelDir == "" {
+		return nil, fmt.Errorf("serve: Config.ModelDir is required")
+	}
+	if fi, err := os.Stat(cfg.ModelDir); err != nil {
+		return nil, fmt.Errorf("serve: model dir: %w", err)
+	} else if !fi.IsDir() {
+		return nil, fmt.Errorf("serve: model dir %s is not a directory", cfg.ModelDir)
+	}
+	pool := par.NewPool(cfg.Workers)
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.ModelDir, cfg.MaxModels),
+		pool:     pool,
+		batch:    newBatcher(pool, cfg.BatchWindow, cfg.BatchMax),
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+	}
+	if r := obs.Get(); r != nil {
+		s.queueGauge = r.Gauge("serve.queue_depth")
+		s.inflightGauge = r.Gauge("serve.inflight")
+		s.shed = r.Counter("serve.shed")
+		s.requests = r.Counter("serve.requests")
+		s.errors = r.Counter("serve.errors")
+		s.simulateHist = r.Histogram("serve.simulate_ns")
+		s.modelsHist = r.Histogram("serve.models_ns")
+	}
+	s.mux.HandleFunc("POST /v1/simulate", s.admit(s.handleSimulate))
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	if cfg.Debug {
+		s.mux.Handle("/debug/", DebugMux())
+	}
+	s.http = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// Handler exposes the server's routes (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the model cache (for warming at startup).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	s.http.Addr = addr
+	return s.http.ListenAndServe()
+}
+
+// Shutdown drains the server gracefully: readiness flips to 503 so load
+// balancers stop sending traffic, new simulate requests are refused,
+// in-flight requests run to completion (bounded by ctx), then the shared
+// pool stops. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	s.pool.Close()
+	return err
+}
+
+// admit wraps a handler with the front-door admission control: requests
+// beyond MaxConcurrent wait for a slot, requests beyond MaxQueue waiting
+// are shed immediately with 429 + Retry-After, and a request whose
+// deadline expires while queued is released with 503 without ever
+// running. Draining servers refuse new work outright.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: draining"))
+			return
+		}
+		if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+			s.waiting.Add(-1)
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("serve: queue full (%d waiting)", s.cfg.MaxQueue))
+			return
+		}
+		s.queueGauge.Set(float64(s.waiting.Load()))
+		select {
+		case s.sem <- struct{}{}:
+			s.waiting.Add(-1)
+			s.queueGauge.Set(float64(s.waiting.Load()))
+			s.inflightGauge.Add(1)
+			defer func() {
+				s.inflightGauge.Add(-1)
+				<-s.sem
+			}()
+			h(w, r)
+		case <-r.Context().Done():
+			s.waiting.Add(-1)
+			s.queueGauge.Set(float64(s.waiting.Load()))
+			s.shed.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: deadline expired while queued"))
+		}
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if s.modelsHist != nil {
+		defer s.modelsHist.ObserveSince(time.Now())
+	}
+	infos, err := s.registry.List()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Models []ModelInfo `json:"models"`
+	}{Models: infos})
+}
+
+// parseVariant maps a request's variant string to the iBoxNet variant.
+func parseVariant(s string) (iboxnet.Variant, error) {
+	switch s {
+	case "", "full", "iboxnet":
+		return iboxnet.Full, nil
+	case "noct", "iboxnet-noct":
+		return iboxnet.NoCT, nil
+	case "statloss", "iboxnet-statloss":
+		return iboxnet.StatLoss, nil
+	case "adaptive", "iboxnet-adaptive":
+		return iboxnet.Adaptive, nil
+	}
+	return 0, fmt.Errorf("serve: unknown variant %q", s)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if s.simulateHist != nil {
+		defer s.simulateHist.ObserveSince(time.Now())
+	}
+	s.requests.Add(1)
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req SimulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	model, err := s.registry.Get(req.Model)
+	if err != nil {
+		code := http.StatusUnprocessableEntity // corrupt / unloadable model
+		switch {
+		case os.IsNotExist(err):
+			code = http.StatusNotFound
+		case errors.Is(err, ErrInvalidModelID):
+			code = http.StatusBadRequest
+		}
+		s.writeError(w, code, err)
+		return
+	}
+
+	var out *trace.Trace
+	batchSize := 0
+	switch model.Kind {
+	case KindIBoxNet:
+		out, err = s.simulateNet(ctx, model, &req)
+	case KindIBoxML:
+		out, batchSize, err = s.simulateML(ctx, model, &req)
+	default:
+		err = fmt.Errorf("serve: model %s has unknown kind %q", model.ID, model.Kind)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.writeError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: request deadline exceeded"))
+		case errors.Is(err, errBadRequest):
+			s.writeError(w, http.StatusBadRequest, err)
+		default:
+			s.writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	if batchSize > 0 {
+		w.Header().Set(batchSizeHeader, strconv.Itoa(batchSize))
+	}
+	json.NewEncoder(w).Encode(SimulateResponse{
+		Model:   model.ID,
+		Kind:    model.Kind,
+		Metrics: core.MetricsOf(out),
+		Trace:   out,
+	})
+}
+
+// errBadRequest marks request-validation failures for the 400 mapping.
+var errBadRequest = errors.New("serve: bad request")
+
+// simulateNet runs a congestion-control protocol over an iBoxNet model —
+// exactly core.Model.Run, on the shared pool.
+func (s *Server) simulateNet(ctx context.Context, model *Model, req *SimulateRequest) (*trace.Trace, error) {
+	if req.Protocol == "" {
+		return nil, fmt.Errorf("%w: iboxnet model %s requires \"protocol\"", errBadRequest, model.ID)
+	}
+	if req.Input != nil {
+		return nil, fmt.Errorf("%w: iboxnet model %s takes \"protocol\", not \"input\"", errBadRequest, model.ID)
+	}
+	// Reject unknown protocols before burning a pool slot.
+	if _, err := cc.NewSender(req.Protocol, 1500); err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	variant, err := parseVariant(req.Variant)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	dur := 10 * sim.Second
+	if req.DurationS > 0 {
+		dur = sim.Time(req.DurationS * float64(sim.Second))
+	}
+	cm := &core.Model{Params: model.Net, Variant: variant, TrainTrace: model.ID}
+	var out *trace.Trace
+	err = s.pool.Do(ctx, func() error {
+		var rerr error
+		out, rerr = cm.Run(req.Protocol, dur, req.Seed)
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// simulateML replays a send-side input trace through an iBoxML model —
+// exactly iboxml.SimulateTrace (or SimulateTraceHierarchical), micro-
+// batched with compatible concurrent requests unless disabled.
+func (s *Server) simulateML(ctx context.Context, model *Model, req *SimulateRequest) (*trace.Trace, int, error) {
+	if req.Input == nil || len(req.Input.Packets) == 0 {
+		return nil, 0, fmt.Errorf("%w: iboxml model %s requires a non-empty \"input\" trace", errBadRequest, model.ID)
+	}
+	if req.Protocol != "" {
+		return nil, 0, fmt.Errorf("%w: iboxml model %s takes \"input\", not \"protocol\"", errBadRequest, model.ID)
+	}
+	if err := req.Input.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	if req.Hierarchical {
+		var out *trace.Trace
+		err := s.pool.Do(ctx, func() error {
+			out = model.ML.SimulateTraceHierarchical(req.Input, req.Seed)
+			return nil
+		})
+		return out, 0, err
+	}
+	if s.cfg.NoBatch {
+		var out *trace.Trace
+		err := s.pool.Do(ctx, func() error {
+			out = model.ML.SimulateTrace(req.Input, nil, req.Seed)
+			return nil
+		})
+		return out, 0, err
+	}
+	return s.batch.submit(ctx, model.ML, req.Input, req.Seed)
+}
