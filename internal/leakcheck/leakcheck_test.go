@@ -1,0 +1,36 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckDetectsAndClears(t *testing.T) {
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	err := Check("TestCheckDetectsAndClears.func")
+	if err == nil {
+		t.Fatal("Check missed a parked goroutine")
+	}
+	if !strings.Contains(err.Error(), "1 leaked goroutine") {
+		t.Fatalf("unexpected report: %v", err)
+	}
+	close(stop)
+	// Check polls, so it sees the goroutine exit without an explicit sync.
+	if err := Check("TestCheckDetectsAndClears.func"); err != nil {
+		t.Fatalf("goroutine exited but Check still reports: %v", err)
+	}
+}
+
+func TestCheckIgnoresSelf(t *testing.T) {
+	// The calling goroutine's own stack contains the substring; only other
+	// goroutines may trip the check.
+	if err := Check("TestCheckIgnoresSelf"); err != nil {
+		t.Fatalf("Check flagged its own goroutine: %v", err)
+	}
+}

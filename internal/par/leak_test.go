@@ -1,0 +1,15 @@
+package par
+
+import (
+	"os"
+	"testing"
+
+	"ibox/internal/leakcheck"
+)
+
+// TestMain fails the package if any pool worker or fan-out goroutine
+// outlives the tests: every NewPool must be Closed, every Map must join
+// its workers before returning.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m, "ibox/internal/par"))
+}

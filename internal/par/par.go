@@ -79,11 +79,19 @@ func logItemError(i int, err error) {
 type Options struct {
 	// Serial forces in-place execution on the calling goroutine (exactly
 	// equivalent to a plain loop). It exists for A/B determinism tests
-	// and benchmarks; results are identical either way.
+	// and benchmarks; results are identical either way. Serial bypasses
+	// Pool entirely.
 	Serial bool
 	// Workers bounds the number of concurrent goroutines. Zero or
-	// negative selects runtime.GOMAXPROCS(0).
+	// negative selects runtime.GOMAXPROCS(0). Ignored when Pool is set —
+	// the pool's width is the budget.
 	Workers int
+	// Pool, when non-nil (and Serial is false), runs the fan-out on this
+	// shared worker pool via PoolMap instead of spawning per-call
+	// goroutines, so nested fan-outs across an entire process share one
+	// concurrency budget. Results are byte-identical to the per-call
+	// path — only scheduling changes.
+	Pool *Pool
 }
 
 // WorkersFor resolves the effective worker count for n work items.
@@ -113,6 +121,9 @@ func (o Options) WorkersFor(n int) int {
 func Map[R any](n int, opts Options, fn func(i int) (R, error)) ([]R, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if opts.Pool != nil && !opts.Serial {
+		return PoolMap(opts.Pool, n, fn)
 	}
 	out := make([]R, n)
 	workers := opts.WorkersFor(n)

@@ -67,7 +67,16 @@ func DefaultThresholds() Thresholds {
 		TimeFloorSeconds: 0.05,
 		Count:            0,
 		Fidelity:         0.10,
-		Skip:             []string{"gomaxprocs", "worker_utilization", "par.workers", "par.queue_wait"},
+		Skip: []string{
+			"gomaxprocs", "worker_utilization", "pool_utilization",
+			"par.workers", "par.queue_wait",
+			// Shared-pool scheduler metrics: the inline/dispatched split,
+			// queue depths and nesting high-water marks depend on
+			// scheduling timing, not on the work done, so none of them can
+			// gate (the deterministic work counts gate via par.items and
+			// par.map_calls instead).
+			"par.pool",
+		},
 	}
 }
 
@@ -263,6 +272,7 @@ func reportMetrics(rep *obs.Report) map[string]metric {
 	add("wall_seconds", rep.WallSeconds, classTime, 1)
 	add("gomaxprocs", float64(rep.GoMaxProcs), classInfo, 1)
 	add("worker_utilization", rep.WorkerUtilization, classInfo, 1)
+	add("pool_utilization", rep.PoolUtilization, classInfo, 1)
 
 	// Stage wall times, keyed by span path. Duplicate paths (a stage that
 	// ran more than once, e.g. under -parallel) accumulate.

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"ibox/internal/iboxml"
 	"ibox/internal/iboxnet"
@@ -63,12 +64,36 @@ type Model struct {
 
 // entry is a cache slot. ready is closed when the load attempt finishes;
 // concurrent Gets for the same id wait on it instead of loading twice
-// (single-flight).
+// (single-flight). A failed load is cached too (err set, model nil),
+// pinned to the artifact's stat signature at load time: the error is
+// served without touching the file until the signature changes.
 type entry struct {
 	ready chan struct{}
 	model *Model
 	err   error
-	elem  *list.Element // position in the LRU list; nil while loading
+	fail  failSig       // artifact signature when err != nil
+	elem  *list.Element // position in the LRU (or negative) list; nil while loading
+}
+
+// failSig is an artifact's stat signature (existence, size, mtime) taken
+// just before a load attempt. Two equal signatures mean the file almost
+// certainly has the same content, so a load that failed against one
+// would fail the same way again — the cached error stands in for the
+// re-read and re-sniff. Any visible change (file appears, is replaced,
+// grows) makes the signatures differ and triggers a fresh load, which
+// preserves the old behaviour that a failure is never pinned forever.
+type failSig struct {
+	exists  bool
+	size    int64
+	modTime time.Time
+}
+
+func statSig(path string) failSig {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return failSig{}
+	}
+	return failSig{exists: true, size: fi.Size(), modTime: fi.ModTime()}
 }
 
 // Registry is the warm model cache: a directory of trained artifacts,
@@ -80,7 +105,8 @@ type Registry struct {
 
 	mu      sync.Mutex
 	entries map[string]*entry
-	lru     *list.List // of string ids; front = most recently used
+	lru     *list.List // of loaded string ids; front = most recently used
+	neg     *list.List // of failed string ids, same discipline, own capacity
 
 	hits, misses, evictions, loadErrors *obs.Counter
 	loaded                              *obs.Gauge
@@ -97,6 +123,7 @@ func NewRegistry(dir string, max int) *Registry {
 		max:     max,
 		entries: make(map[string]*entry),
 		lru:     list.New(),
+		neg:     list.New(),
 	}
 	if reg := obs.Get(); reg != nil {
 		r.hits = reg.Counter("serve.model_hits")
@@ -125,50 +152,86 @@ func validID(id string) error {
 }
 
 // Get returns the model with the given id, loading it from disk on first
-// use. Concurrent requests for the same cold model share one load.
+// use. Concurrent requests for the same cold model share one load, and
+// the error path is single-flight too: a failed load is cached against
+// the artifact's stat signature, so repeated Gets for a broken or
+// missing model return the cached error with one stat call instead of
+// re-reading and re-sniffing the file every time. The failure is not
+// pinned — as soon as the file appears, is replaced or otherwise changes
+// its signature, the next Get loads it fresh.
 func (r *Registry) Get(id string) (*Model, error) {
 	if err := validID(id); err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	if e, ok := r.entries[id]; ok {
-		r.mu.Unlock()
-		<-e.ready
-		if e.err != nil {
-			return nil, e.err
+	path := filepath.Join(r.dir, id)
+	for {
+		r.mu.Lock()
+		if e, ok := r.entries[id]; ok {
+			r.mu.Unlock()
+			<-e.ready
+			if e.err == nil {
+				r.touch(e)
+				r.hits.Add(1)
+				return e.model, nil
+			}
+			if statSig(path) == e.fail {
+				// The artifact looks exactly as it did when the load failed;
+				// serve the cached error.
+				r.touch(e)
+				r.hits.Add(1)
+				return nil, e.err
+			}
+			// The file changed (or appeared): drop the stale negative entry
+			// and retry. Only the first Get to notice replaces it; the
+			// others find the fresh loading entry and wait on it.
+			r.mu.Lock()
+			if r.entries[id] == e {
+				if e.elem != nil {
+					r.neg.Remove(e.elem)
+				}
+				delete(r.entries, id)
+			}
+			r.mu.Unlock()
+			continue
 		}
-		r.touch(e)
-		r.hits.Add(1)
-		return e.model, nil
-	}
-	e := &entry{ready: make(chan struct{})}
-	r.entries[id] = e
-	r.mu.Unlock()
-	r.misses.Add(1)
+		e := &entry{ready: make(chan struct{})}
+		r.entries[id] = e
+		r.mu.Unlock()
+		r.misses.Add(1)
 
-	m, err := loadModel(filepath.Join(r.dir, id), id)
-	r.mu.Lock()
-	e.model, e.err = m, err
-	if err != nil {
-		// A failed load is not cached: the file may appear (or be fixed)
-		// later, and a permanent negative entry would pin the failure.
-		delete(r.entries, id)
-		r.loadErrors.Add(1)
-	} else {
-		e.elem = r.lru.PushFront(id)
-		r.loaded.Set(float64(r.lru.Len()))
-		r.evict()
+		// Signature before the read: if the file mutates mid-load, the next
+		// Get sees a signature mismatch and retries rather than trusting an
+		// error recorded against content that no longer exists.
+		sig := statSig(path)
+		m, err := loadModel(path, id)
+		r.mu.Lock()
+		e.model, e.err = m, err
+		if err != nil {
+			e.fail = sig
+			e.elem = r.neg.PushFront(id)
+			r.evictNeg()
+			r.loadErrors.Add(1)
+		} else {
+			e.elem = r.lru.PushFront(id)
+			r.loaded.Set(float64(r.lru.Len()))
+			r.evict()
+		}
+		r.mu.Unlock()
+		close(e.ready)
+		return m, err
 	}
-	r.mu.Unlock()
-	close(e.ready)
-	return m, err
 }
 
-// touch moves a loaded entry to the LRU front.
+// touch moves an entry to the front of its list (LRU for loaded models,
+// the negative list for cached failures).
 func (r *Registry) touch(e *entry) {
 	r.mu.Lock()
 	if e.elem != nil {
-		r.lru.MoveToFront(e.elem)
+		if e.err != nil {
+			r.neg.MoveToFront(e.elem)
+		} else {
+			r.lru.MoveToFront(e.elem)
+		}
 	}
 	r.mu.Unlock()
 }
@@ -184,6 +247,20 @@ func (r *Registry) evict() {
 		r.evictions.Add(1)
 	}
 	r.loaded.Set(float64(r.lru.Len()))
+}
+
+// evictNeg bounds the negative cache the same way: at most max cached
+// failures, oldest dropped first. Caller holds r.mu. Without the bound a
+// client probing many bad ids would grow the entries map without limit —
+// before negative caching that couldn't happen, because failures were
+// never retained.
+func (r *Registry) evictNeg() {
+	for r.neg.Len() > r.max {
+		back := r.neg.Back()
+		r.neg.Remove(back)
+		delete(r.entries, back.Value.(string))
+		r.evictions.Add(1)
+	}
 }
 
 // Warm preloads the given ids (e.g. from a -warm flag at startup),

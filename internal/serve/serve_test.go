@@ -630,3 +630,116 @@ func TestRegistrySingleFlight(t *testing.T) {
 		t.Fatalf("%d loads for 16 concurrent gets, want 1", misses)
 	}
 }
+
+// TestRegistryNegativeCache checks the failed-load path is single-flight
+// like the success path: a broken or missing model is read and sniffed
+// once, repeated Gets return the cached error (same error value — proof
+// no reload happened), and fixing the file on disk clears the cached
+// failure on the very next Get.
+func TestRegistryNegativeCache(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup func(t *testing.T, path string)
+	}{
+		{"missing file", func(t *testing.T, path string) {}},
+		{"non-JSON", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"unrecognized shape", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte(`{"neither": true}`), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupt checkpoint", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte(`{"net": {}}`), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			obs.Enable()
+			defer obs.Disable()
+			dir := t.TempDir()
+			const id = "m.json"
+			tc.setup(t, filepath.Join(dir, id))
+			r := NewRegistry(dir, 2)
+			var firstErr error
+			for i := 0; i < 5; i++ {
+				_, err := r.Get(id)
+				if err == nil {
+					t.Fatal("broken model loaded")
+				}
+				if i == 0 {
+					firstErr = err
+				} else if err != firstErr {
+					t.Fatalf("Get %d returned a different error value: %v", i, err)
+				}
+			}
+			if got := r.misses.Value(); got != 1 {
+				t.Fatalf("%d load attempts for 5 Gets of a broken model, want 1", got)
+			}
+			if got := r.loadErrors.Value(); got != 1 {
+				t.Fatalf("load_errors = %d, want 1", got)
+			}
+			if got := r.hits.Value(); got != 4 {
+				t.Fatalf("hits = %d, want 4 (negative-cache hits)", got)
+			}
+			// Fixing the artifact changes its stat signature, so the next
+			// Get loads fresh instead of serving the stale failure.
+			writeNetModel(t, dir, id)
+			m, err := r.Get(id)
+			if err != nil {
+				t.Fatalf("Get after fixing the file: %v", err)
+			}
+			if m.Kind != KindIBoxNet {
+				t.Fatalf("Kind = %q after fix, want %q", m.Kind, KindIBoxNet)
+			}
+			if got := r.misses.Value(); got != 2 {
+				t.Fatalf("misses = %d after fix, want 2 (exactly one reload)", got)
+			}
+		})
+	}
+}
+
+// TestRegistryNegativeSingleFlight mirrors TestRegistrySingleFlight for
+// the error path: 16 concurrent Gets of a missing model share one load
+// attempt.
+func TestRegistryNegativeSingleFlight(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	r := NewRegistry(t.TempDir(), 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Get("nope.json"); err == nil {
+				t.Error("missing model loaded")
+			}
+		}()
+	}
+	wg.Wait()
+	if misses := r.misses.Value(); misses != 1 {
+		t.Fatalf("%d load attempts for 16 concurrent gets of a missing model, want 1", misses)
+	}
+}
+
+// TestRegistryNegativeCacheBounded checks a client probing many bad ids
+// cannot grow the entries map without limit.
+func TestRegistryNegativeCacheBounded(t *testing.T) {
+	r := NewRegistry(t.TempDir(), 2)
+	for i := 0; i < 5; i++ {
+		if _, err := r.Get(fmt.Sprintf("missing%d.json", i)); err == nil {
+			t.Fatal("missing model loaded")
+		}
+	}
+	r.mu.Lock()
+	n, total := r.neg.Len(), len(r.entries)
+	r.mu.Unlock()
+	if n > 2 || total > 2 {
+		t.Fatalf("negative cache grew to %d list / %d map entries, cap 2", n, total)
+	}
+}
