@@ -8,17 +8,41 @@ import (
 
 // Batched closed-loop inference: unroll several independent traces through
 // the same trained model in lockstep, one window-step per member per
-// round, on top of nn.StepGaussianBatch. This is the amortization behind
-// request micro-batching in internal/serve — the LSTM weights stream
-// through the cache once per step for the whole batch instead of once per
-// request.
+// round, on the compiled inference kernel (nn.InferModel). This is the
+// amortization behind request micro-batching in internal/serve: the
+// per-window setup — feature extraction, standardization, and the layer-0
+// pre-projection below — is paid once per call for the whole group, and
+// the lockstep loop itself is allocation-free (member states, standardized
+// rows, and the head scratch are set up once per call and reused every
+// step).
+//
+// Two kernel-level savings apply on top of batching:
+//
+//   - every feature column except the closed-loop d_{t−1} feedback is
+//     known before the unroll starts, so those columns are standardized
+//     once up front and the layer-0 projection of the known prefix is
+//     pre-computed for the whole window in blocked passes
+//     (nn.PreProjectInput); the sequential step only adds the feedback
+//     and cross-traffic terms plus the recurrent matvec;
+//   - each member steps through the packed inference layout, where a
+//     unit's four gate rows run as four parallel accumulator chains off
+//     one weight stream (SIMD lanes where available; see internal/nn).
 //
 // Correctness contract: each member's arithmetic — feature extraction,
 // standardization, the closed-loop d_{t−1} feedback, and the de-
 // standardized mu/sigma clamping — is the exact operation sequence of
-// PredictWindows, and nn.StepBatch is bitwise-identical to nn.Step, so
-// batched results equal unbatched results float-for-float regardless of
-// batch composition.
+// PredictWindows. Standardization is elementwise, so standardizing known
+// columns early is identical; pre-projection resumes each gate row's
+// accumulator mid-sum without reordering any addition (bias first, then
+// input terms ascending k, then recurrent terms ascending k). Batched
+// results therefore equal unbatched results float-for-float regardless
+// of batch composition. (With EnableInt8 the kernel itself is not
+// bitwise-exact and pre-projection is skipped, but batched still equals
+// unbatched on the same kernel.)
+
+// feedbackCol is the index of the closed-loop d_{t−1} feature — the only
+// input column not known before the unroll begins.
+const feedbackCol = 3
 
 // PredictWindowsBatch runs the closed-loop window prediction of
 // PredictWindows for several traces at once. cts may be nil (no
@@ -52,45 +76,96 @@ func (m *Model) PredictWindowsBatch(trs []*trace.Trace, cts []*trace.Series) (mu
 			maxT = len(xs)
 		}
 	}
-	preds := make([]*nn.Predictor, n)
+	im := m.inferModel()
+	sts := make([]*nn.InferState, n)
 	mus = make([][]float64, n)
 	sigmas = make([][]float64, n)
-	for i := range preds {
-		preds[i] = m.Net.NewPredictor()
+	for i := range sts {
+		sts[i] = im.NewState()
 		mus[i] = make([]float64, len(xss[i]))
 		sigmas[i] = make([]float64, len(xss[i]))
 	}
 	obs.Get().Histogram("iboxml.batch_members").Observe(int64(n))
+
+	// Standardize every known column of every member's window once.
+	// Column feedbackCol is rewritten per step with the member's own
+	// standardized previous prediction (t=0 keeps the teacher value,
+	// exactly as PredictWindows does).
+	rowsStd := make([][][]float64, n)
+	for i := range xss {
+		T := len(xss[i])
+		if T == 0 {
+			continue
+		}
+		d := len(xss[i][0])
+		slab := make([]float64, T*d)
+		rs := make([][]float64, T)
+		for t := 0; t < T; t++ {
+			rs[t] = slab[t*d : (t+1)*d]
+			m.xScale.applyInto(xss[i][t], rs[t])
+		}
+		rowsStd[i] = rs
+	}
+
+	// Pre-project the known input prefix (columns k < feedbackCol) of
+	// every member's whole window through layer 0 in blocked passes; the
+	// step loop resumes from the partials with tailOff = feedbackCol.
+	// The quantized kernel has no pre-projection support.
+	var pres [][]float64
+	tailOff := 0
+	rowsPer := im.InputRowsPerStep()
+	if !im.Quantized() {
+		tailOff = feedbackCol
+		pres = make([][]float64, n)
+		for i := range rowsStd {
+			if len(rowsStd[i]) == 0 {
+				continue
+			}
+			pres[i] = make([]float64, len(rowsStd[i])*rowsPer)
+			im.PreProjectInput(pres[i], rowsStd[i], tailOff)
+		}
+	}
+
 	// Lockstep unroll. Members whose traces span fewer windows drop out of
 	// the active set as their sequences end; each member's state advances
 	// through exactly its own inputs, so membership never changes results.
 	prevDelay := make([]float64, n)
 	active := make([]int, 0, n)
-	batchPreds := make([]*nn.Predictor, 0, n)
-	rows := make([][]float64, 0, n)
+	batchSts := make([]*nn.InferState, 0, n)
+	batchRows := make([][]float64, 0, n)
+	batchPres := make([][]float64, 0, n)
+	head := make([]float64, m.Net.Head.Out)
 	for t := 0; t < maxT; t++ {
 		active = active[:0]
-		batchPreds = batchPreds[:0]
-		rows = rows[:0]
+		batchSts = batchSts[:0]
+		batchRows = batchRows[:0]
+		batchPres = batchPres[:0]
 		for i := range xss {
 			if t >= len(xss[i]) {
 				continue
 			}
-			x := xss[i][t]
-			// Closed loop: overwrite the teacher-forced d_{t−1} feature
-			// with the member's own previous prediction (t=0 keeps the
-			// teacher value, exactly as PredictWindows does).
+			r := rowsStd[i][t]
 			if t > 0 {
-				x[3] = prevDelay[i]
+				// Closed loop: the standardized d_{t−1} feedback.
+				// Elementwise, so identical to standardizing the raw row.
+				r[feedbackCol] = (prevDelay[i] - m.xScale.Mean[feedbackCol]) / m.xScale.Std[feedbackCol]
 			}
 			active = append(active, i)
-			batchPreds = append(batchPreds, preds[i])
-			rows = append(rows, m.xScale.apply(x))
+			batchSts = append(batchSts, sts[i])
+			batchRows = append(batchRows, r)
+			if pres != nil {
+				batchPres = append(batchPres, pres[i][t*rowsPer:(t+1)*rowsPer])
+			}
 		}
-		outs := nn.StepGaussianBatch(batchPreds, rows)
+		var bp [][]float64
+		if pres != nil {
+			bp = batchPres
+		}
+		im.StepBatchInto(batchSts, batchRows, bp, tailOff)
 		for k, i := range active {
-			mu := outs[k].Mu*m.yStd + m.yMean
-			sg := outs[k].Sigma * m.yStd
+			out := m.Net.HeadGaussian(batchSts[k].Top(), head)
+			mu := out.Mu*m.yStd + m.yMean
+			sg := out.Sigma * m.yStd
 			if mu < 0 {
 				mu = 0
 			}

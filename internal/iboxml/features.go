@@ -187,8 +187,15 @@ func fitScaler(rows [][]float64) scaler {
 
 func (s scaler) apply(row []float64) []float64 {
 	out := make([]float64, len(row))
-	for j, v := range row {
-		out[j] = (v - s.Mean[j]) / s.Std[j]
-	}
+	s.applyInto(row, out)
 	return out
+}
+
+// applyInto standardizes row into dst without allocating; identical
+// arithmetic to apply. dst must have len(row); aliasing row is fine
+// (the transform is elementwise).
+func (s scaler) applyInto(row, dst []float64) {
+	for j, v := range row {
+		dst[j] = (v - s.Mean[j]) / s.Std[j]
+	}
 }

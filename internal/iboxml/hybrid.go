@@ -44,6 +44,9 @@ type HierarchicalPredictor struct {
 	// OU state for the per-packet residual.
 	z        float64
 	lastSend sim.Time
+	// Reusable group-feature buffers (raw and standardized) so the
+	// per-group LSTM advance allocates nothing.
+	x, row []float64
 }
 
 // NewHierarchical returns a per-packet predictor that advances the
@@ -52,12 +55,18 @@ func (m *Model) NewHierarchical(seed int64) *HierarchicalPredictor {
 	if !m.trained {
 		panic("iboxml: model not trained")
 	}
+	dim := 4
+	if m.Cfg.UseCrossTraffic {
+		dim = 5
+	}
 	return &HierarchicalPredictor{
 		model:    m,
 		rng:      sim.NewRand(seed, 83),
 		window:   m.Cfg.Window,
-		pred:     m.Net.NewPredictor(),
+		pred:     m.newPredictor(),
 		lastSend: -1,
+		x:        make([]float64, dim),
+		row:      make([]float64, dim),
 	}
 }
 
@@ -108,11 +117,9 @@ func (h *HierarchicalPredictor) PacketDelay(sendTime sim.Time, size int) float64
 // advanceGroup runs one LSTM step for the group ending at groupEnd and
 // rolls the window forward.
 func (h *HierarchicalPredictor) advanceGroup(now sim.Time) {
-	dim := 4
-	if h.model.Cfg.UseCrossTraffic {
-		dim = 5
-	}
-	x := make([]float64, dim)
+	// h.x starts zeroed; on the first (pre-start) advance it stays all
+	// zero, afterwards every feature it carries is reassigned per group.
+	x := h.x
 	if h.started {
 		x[0] = h.bytes
 		if h.count > 1 {
@@ -122,10 +129,13 @@ func (h *HierarchicalPredictor) advanceGroup(now sim.Time) {
 		}
 		if h.count > 0 {
 			x[2] = h.bytes / float64(h.count)
+		} else {
+			x[2] = 0
 		}
 		x[3] = h.lastOut
 	}
-	out := h.pred.StepGaussian(h.model.xScale.apply(x))
+	h.model.xScale.applyInto(x, h.row)
+	out := h.pred.StepGaussian(h.row)
 	h.prevMu, h.prevSigma = h.curMu, h.curSigma
 	h.curMu = out.Mu*h.model.yStd + h.model.yMean
 	if h.curMu < 0 {

@@ -1,0 +1,104 @@
+package iboxml
+
+import (
+	"math"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+// TestInt8CalibrationTolerance proves the opt-in int8 kernel with the
+// model's own fidelity machinery: held-out calibration on the quantized
+// kernel must stay within a small tolerance of the float kernel's — the
+// quantization noise budget — while remaining finite and well-formed.
+// This is the acceptance bar for the documented "NOT bitwise-identical"
+// path: close in distribution, not in bits.
+func TestInt8CalibrationTolerance(t *testing.T) {
+	samples := trainSamples(4, 4*sim.Second)
+	m, err := Train(samples, Config{Hidden: 12, Layers: 2, Epochs: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heldOut := []TrainingSample{
+		{Trace: synthTrace(300, 4*sim.Second)},
+		{Trace: synthTrace(301, 4*sim.Second)},
+	}
+	ref := m.Calibrate(heldOut)
+
+	if m.Int8Enabled() {
+		t.Fatal("int8 must be off by default")
+	}
+	m.EnableInt8(true)
+	defer m.EnableInt8(false)
+	if !m.Int8Enabled() {
+		t.Fatal("EnableInt8(true) did not stick")
+	}
+	q := m.Calibrate(heldOut)
+
+	if q.Windows != ref.Windows {
+		t.Fatalf("quantized calibration scored %d windows, float %d", q.Windows, ref.Windows)
+	}
+	if math.IsNaN(q.NLL) || math.IsInf(q.NLL, 0) {
+		t.Fatalf("quantized NLL = %v", q.NLL)
+	}
+	// Per-row symmetric int8 keeps each weight within ~0.4% of its row
+	// max; through the tanh-bounded recurrence that perturbs held-out NLL
+	// by far less than a nat on in-distribution data.
+	if d := math.Abs(q.NLL - ref.NLL); d > 0.5 {
+		t.Fatalf("quantized NLL drifted %v nats from float (%v vs %v)", d, q.NLL, ref.NLL)
+	}
+	if d := math.Abs(q.PITDeviation - ref.PITDeviation); d > 0.2 {
+		t.Fatalf("quantized PIT deviation drifted %v (%v vs %v)", d, q.PITDeviation, ref.PITDeviation)
+	}
+}
+
+// TestInt8PredictionsCloseNotEqual pins both halves of the int8 contract
+// on the prediction path: closed-loop window predictions stay within a
+// tight relative tolerance of the float kernel, and they are NOT
+// bitwise-identical (if they were, the quantized kernel would not
+// actually be running).
+func TestInt8PredictionsCloseNotEqual(t *testing.T) {
+	m, err := Train(trainSamples(3, 4*sim.Second), Config{Hidden: 10, Layers: 1, Epochs: 5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := synthTrace(310, 4*sim.Second)
+	mu, _ := m.PredictWindows(tr, nil)
+	m.EnableInt8(true)
+	qmu, _ := m.PredictWindows(tr, nil)
+	if len(qmu) != len(mu) {
+		t.Fatalf("window count %d != %d", len(qmu), len(mu))
+	}
+	identical := true
+	for i := range mu {
+		if math.Float64bits(qmu[i]) != math.Float64bits(mu[i]) {
+			identical = false
+		}
+		denom := math.Abs(mu[i])
+		if denom < 1 {
+			denom = 1
+		}
+		if math.Abs(qmu[i]-mu[i])/denom > 0.25 {
+			t.Fatalf("window %d: int8 mu %v too far from float mu %v", i, qmu[i], mu[i])
+		}
+	}
+	if identical {
+		t.Fatal("int8 predictions bitwise-identical to float — quantized kernel not in use")
+	}
+}
+
+// TestPredictPacketDelayNoAllocs pins the zero-allocation contract of the
+// per-packet serving path end to end (standardize, kernel step, head,
+// de-standardize).
+func TestPredictPacketDelayNoAllocs(t *testing.T) {
+	m, err := Train(trainSamples(2, 3*sim.Second), Config{Hidden: 8, Layers: 2, Epochs: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := m.PredictPacketDelay()
+	feats := []float64{1200, 8, 1200, 30}
+	step(feats) // warm the compiled-kernel cache before counting
+	if n := testing.AllocsPerRun(100, func() { step(feats) }); n != 0 {
+		t.Fatalf("PredictPacketDelay allocates %v times per packet, want 0", n)
+	}
+}

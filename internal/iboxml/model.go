@@ -112,6 +112,39 @@ type Model struct {
 	// env is the training feature envelope backing the §6 model-validity
 	// analysis (see Validity).
 	env envelope
+	// useInt8 switches inference onto the opt-in int8-quantized kernel.
+	// Off by default; see EnableInt8.
+	useInt8 bool
+}
+
+// EnableInt8 toggles the int8-quantized inference kernel for every
+// prediction path of this model (replay, hierarchical, per-packet,
+// open-loop). It trades exactness for an 8× smaller weight working set:
+// quantized predictions are NOT bitwise-identical to the float path
+// (weights round to 8 bits per value with per-row scales), so downstream
+// byte-identity guarantees no longer hold across the toggle. Re-validate
+// fidelity on held-out traces via Calibrate before serving with it.
+// Training is unaffected — quantization applies at kernel compile time.
+func (m *Model) EnableInt8(on bool) { m.useInt8 = on }
+
+// Int8Enabled reports whether the int8 inference kernel is active.
+func (m *Model) Int8Enabled() bool { return m.useInt8 }
+
+// inferModel returns the compiled inference kernel honoring the int8
+// toggle.
+func (m *Model) inferModel() *nn.InferModel {
+	if m.useInt8 {
+		return m.Net.InferQuantized()
+	}
+	return m.Net.Infer()
+}
+
+// newPredictor returns a stateful handle on the active kernel.
+func (m *Model) newPredictor() *nn.Predictor {
+	if m.useInt8 {
+		return m.Net.NewPredictorQuantized()
+	}
+	return m.Net.NewPredictor()
 }
 
 // TrainingSample pairs a trace with its (optional) cross-traffic estimate.
@@ -331,9 +364,13 @@ func (m *Model) PredictWindows(tr *trace.Trace, ct *trace.Series) (mu, sigma []f
 			xs[i] = append(xs[i], 0)
 		}
 	}
-	pred := m.Net.NewPredictor()
+	pred := m.newPredictor()
 	mu = make([]float64, len(xs))
 	sigma = make([]float64, len(xs))
+	var row []float64
+	if len(xs) > 0 {
+		row = make([]float64, len(xs[0]))
+	}
 	prevDelay := 0.0
 	first := true
 	for t := range xs {
@@ -342,7 +379,8 @@ func (m *Model) PredictWindows(tr *trace.Trace, ct *trace.Series) (mu, sigma []f
 		if !first {
 			xs[t][3] = prevDelay
 		}
-		out := pred.StepGaussian(m.xScale.apply(xs[t]))
+		m.xScale.applyInto(xs[t], row)
+		out := pred.StepGaussian(row)
 		mu[t] = out.Mu*m.yStd + m.yMean
 		sigma[t] = out.Sigma * m.yStd
 		if mu[t] < 0 {
@@ -459,11 +497,17 @@ func (m *Model) PredictWindowsOpenLoop(tr *trace.Trace, ct *trace.Series) (mu, s
 			xs[i] = append(xs[i], 0)
 		}
 	}
-	pred := m.Net.NewPredictor()
+	// Teacher forcing means the whole window is known up front, so the
+	// input projections run as one blocked pass per layer instead of per
+	// step (InferModel.Forward) — bitwise-identical to stepping.
+	rows := make([][]float64, len(xs))
+	for t := range xs {
+		rows[t] = m.xScale.apply(xs[t])
+	}
+	outs := m.Net.PredictSequenceOn(m.inferModel(), rows)
 	mu = make([]float64, len(xs))
 	sigma = make([]float64, len(xs))
-	for t := range xs {
-		out := pred.StepGaussian(m.xScale.apply(xs[t]))
+	for t, out := range outs {
 		mu[t] = out.Mu*m.yStd + m.yMean
 		sigma[t] = out.Sigma * m.yStd
 		if mu[t] < 0 {
@@ -476,16 +520,20 @@ func (m *Model) PredictWindowsOpenLoop(tr *trace.Trace, ct *trace.Series) (mu, s
 // PredictPacketDelay is the per-packet inference mode used by the §4.2
 // speed analysis: one LSTM step per packet. The returned function advances
 // the model one packet at a time and reports the predicted delay (ms).
+// The closure performs no per-call allocation — all scratch (input
+// buffers, kernel state) is owned by the closure and reused.
 func (m *Model) PredictPacketDelay() func(features []float64) float64 {
-	pred := m.Net.NewPredictor()
+	pred := m.newPredictor()
 	dim := 4
 	if m.Cfg.UseCrossTraffic {
 		dim = 5
 	}
 	buf := make([]float64, dim)
+	row := make([]float64, dim)
 	return func(features []float64) float64 {
 		copy(buf, features)
-		out := pred.StepGaussian(m.xScale.apply(buf))
+		m.xScale.applyInto(buf, row)
+		out := pred.StepGaussian(row)
 		return out.Mu*m.yStd + m.yMean
 	}
 }

@@ -134,19 +134,19 @@ func StepGaussianBatch(ps []*Predictor, xs [][]float64) []GaussianOutput {
 	if len(ps) != len(xs) {
 		panic("nn: StepGaussianBatch predictors/inputs length mismatch")
 	}
-	model := ps[0].model
-	states := make([]*State, len(ps))
+	model, im := ps[0].model, ps[0].im
+	sts := make([]*InferState, len(ps))
 	for i, p := range ps {
-		if p.model != model {
+		if p.model != model || p.im != im {
 			panic("nn: StepGaussianBatch predictors span different models")
 		}
-		states[i] = p.state
+		sts[i] = p.st
 	}
-	hs, ns := model.LSTM.StepBatch(states, xs)
+	im.StepBatchInto(sts, xs, nil, 0)
 	out := make([]GaussianOutput, len(ps))
 	for i, p := range ps {
-		p.state = ns[i]
-		out[i] = gaussianFromHead(model.Head.Forward(hs[i]))
+		model.Head.ForwardInto(sts[i].top(), p.head)
+		out[i] = gaussianFromHead(p.head)
 	}
 	return out
 }

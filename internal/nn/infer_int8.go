@@ -1,0 +1,121 @@
+package nn
+
+import "math"
+
+// Opt-in int8 weight quantization for the inference kernel. Each gate
+// row's Wx and Wh are quantized separately to int8 with a symmetric
+// per-row scale (scale = maxAbs/127); the step dequantizes on the fly:
+//
+//	pre = b + sx·Σ float64(qx[k])·x[k] + sh·Σ float64(qh[k])·h[k]
+//
+// On this scalar CPU path the win is footprint, not arithmetic: the
+// paper-scale stack (Hidden 256, 4 layers, ~2M params) shrinks from
+// ~16 MB of float64 weights to ~2 MB, which fits in L2 instead of
+// streaming from memory every step.
+//
+// NOT bitwise-identical to the float kernels — quantization rounds every
+// weight and reassociates each dot product through the scale factor. It
+// is off by default everywhere; callers opt in via LSTM.CompileQuantized
+// (or iboxml's Model option) and are expected to re-check fidelity
+// (iboxml.Calibrate) on their own data. Window pre-projection is not
+// supported on this path.
+type quantLayer struct {
+	in, hidden int
+	rowStride  int    // in + hidden, per gate row
+	w          []int8 // 4*hidden rows, unit-major: [qx | qh] per row
+	b          []float64
+	scaleX     []float64 // per row
+	scaleH     []float64 // per row
+}
+
+// CompileQuantized repacks the stack like Compile but stores Wx/Wh as
+// int8 with per-row scales. See the quantLayer doc for the accuracy and
+// identity caveats.
+func (m *LSTM) CompileQuantized() *InferModel {
+	im := m.Compile()
+	for _, il := range im.Layers {
+		il.q = quantizeLayer(il)
+	}
+	return im
+}
+
+func quantizeLayer(il *InferLayer) *quantLayer {
+	In, H, bs := il.In, il.Hidden, il.blkStride
+	q := &quantLayer{
+		in:        In,
+		hidden:    H,
+		rowStride: In + H,
+		w:         make([]int8, 4*H*(In+H)),
+		b:         make([]float64, 4*H),
+		scaleX:    make([]float64, 4*H),
+		scaleH:    make([]float64, 4*H),
+	}
+	// De-interleave each gate row out of the unit-interleaved packed
+	// layout before quantizing it.
+	rowX := make([]float64, In)
+	rowH := make([]float64, H)
+	for j := 0; j < H; j++ {
+		blk := il.packed[j*bs : (j+1)*bs]
+		for g := 0; g < 4; g++ {
+			r := j*4 + g
+			q.b[r] = blk[g]
+			for k := 0; k < In; k++ {
+				rowX[k] = blk[4+k*4+g]
+			}
+			for k := 0; k < H; k++ {
+				rowH[k] = blk[4+In*4+k*4+g]
+			}
+			q.scaleX[r] = quantizeRow(q.w[r*q.rowStride:r*q.rowStride+In], rowX)
+			q.scaleH[r] = quantizeRow(q.w[r*q.rowStride+In:(r+1)*q.rowStride], rowH)
+		}
+	}
+	return q
+}
+
+// quantizeRow fills dst with round(src/scale) for scale = maxAbs/127 and
+// returns the scale (0 for an all-zero row, leaving dst zeroed).
+func quantizeRow(dst []int8, src []float64) float64 {
+	maxAbs := 0.0
+	for _, v := range src {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	scale := maxAbs / 127
+	for i, v := range src {
+		dst[i] = int8(math.RoundToEven(v / scale))
+	}
+	return scale
+}
+
+// step is the quantized analogue of InferLayer.step (no pre-projection
+// variant). c updates in place; hNew must not alias hPrev.
+func (q *quantLayer) step(hPrev, c, hNew, x []float64) {
+	In, rs := q.in, q.rowStride
+	for j := 0; j < q.hidden; j++ {
+		var acc [4]float64
+		for g := 0; g < 4; g++ {
+			r := j*4 + g
+			row := q.w[r*rs : (r+1)*rs]
+			var sx, sh float64
+			for k := 0; k < In; k++ {
+				sx += float64(row[k]) * x[k]
+			}
+			qh := row[In:]
+			for k, hv := range hPrev {
+				sh += float64(qh[k]) * hv
+			}
+			acc[g] = q.b[r] + q.scaleX[r]*sx + q.scaleH[r]*sh
+		}
+		ig := sigmoid(acc[0])
+		fg := sigmoid(acc[1])
+		gg := math.Tanh(acc[2])
+		og := sigmoid(acc[3])
+		cj := fg*c[j] + ig*gg
+		c[j] = cj
+		hNew[j] = og * math.Tanh(cj)
+	}
+}

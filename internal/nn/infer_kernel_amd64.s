@@ -1,0 +1,177 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func layerPreSIMD(blocks, x, h, pre, out *float64, nx, nh, groups, xoff, blkBytes int64)
+//
+// Computes gate pre-activations for groups*4 hidden units of one layer
+// step. Four unit blocks are processed per outer iteration, one ymm
+// accumulator each; within a block the four f64 lanes are the unit's
+// four gate rows (i|f|g|o), matching the unit-interleaved packed layout,
+// so each weight column k is a single 32-byte load.
+//
+// Bitwise contract: per lane the accumulation is init, then input terms
+// in ascending k, then recurrent terms in ascending k, each as a
+// separate VMULPD + VADDPD (never FMA: its single rounding differs from
+// the scalar multiply-then-add), i.e. exactly gatePreScalar's chain.
+//
+// Register map:
+//   R8-R11  the four unit-block cursors; weights are contiguous within a
+//           block, so they advance 32 bytes per column and finish each
+//           iteration at the next block — R11 lands on the next group.
+//   SI, DI  x, h base pointers
+//   AX      pre cursor (nil: accumulators start from the packed biases)
+//   DX      out cursor
+//   BX, R12 nx, nh
+//   R13     remaining groups
+//   R14     xoff (first non-pre-projected input column)
+//   R15     blkBytes
+//   CX      column counter / scratch
+//   Y0-Y3   accumulators, Y4 broadcast column value, Y5-Y8 weight quads
+TEXT ·layerPreSIMD(SB), NOSPLIT, $0-80
+	MOVQ blocks+0(FP), R8
+	MOVQ x+8(FP), SI
+	MOVQ h+16(FP), DI
+	MOVQ pre+24(FP), AX
+	MOVQ out+32(FP), DX
+	MOVQ nx+40(FP), BX
+	MOVQ nh+48(FP), R12
+	MOVQ groups+56(FP), R13
+	MOVQ xoff+64(FP), R14
+	MOVQ blkBytes+72(FP), R15
+
+group:
+	TESTQ R13, R13
+	JZ    done
+
+	// Cursors for the group's four unit blocks.
+	MOVQ R8, R9
+	ADDQ R15, R9
+	MOVQ R9, R10
+	ADDQ R15, R10
+	MOVQ R10, R11
+	ADDQ R15, R11
+
+	// Accumulator init: pre-projected partials if pre != nil, else the
+	// biases at the head of each block.
+	TESTQ AX, AX
+	JZ    frombias
+	VMOVUPD (AX), Y0
+	VMOVUPD 32(AX), Y1
+	VMOVUPD 64(AX), Y2
+	VMOVUPD 96(AX), Y3
+	ADDQ    $128, AX
+	JMP     accready
+
+frombias:
+	VMOVUPD (R8), Y0
+	VMOVUPD (R9), Y1
+	VMOVUPD (R10), Y2
+	VMOVUPD (R11), Y3
+
+accready:
+	// Skip the bias quad and the pre-projected input columns [0, xoff).
+	MOVQ R14, CX
+	SHLQ $5, CX
+	ADDQ $32, CX
+	ADDQ CX, R8
+	ADDQ CX, R9
+	ADDQ CX, R10
+	ADDQ CX, R11
+
+	// Input terms, k = xoff .. nx-1 (ascending).
+	MOVQ R14, CX
+xloop:
+	CMPQ CX, BX
+	JGE  xdone
+	VBROADCASTSD (SI)(CX*8), Y4
+	VMOVUPD      (R8), Y5
+	VMOVUPD      (R9), Y6
+	VMOVUPD      (R10), Y7
+	VMOVUPD      (R11), Y8
+	VMULPD       Y4, Y5, Y5
+	VMULPD       Y4, Y6, Y6
+	VMULPD       Y4, Y7, Y7
+	VMULPD       Y4, Y8, Y8
+	VADDPD       Y5, Y0, Y0
+	VADDPD       Y6, Y1, Y1
+	VADDPD       Y7, Y2, Y2
+	VADDPD       Y8, Y3, Y3
+	ADDQ         $32, R8
+	ADDQ         $32, R9
+	ADDQ         $32, R10
+	ADDQ         $32, R11
+	INCQ         CX
+	JMP          xloop
+
+xdone:
+	// Recurrent terms, k = 0 .. nh-1 (ascending).
+	XORQ CX, CX
+hloop:
+	CMPQ CX, R12
+	JGE  hdone
+	VBROADCASTSD (DI)(CX*8), Y4
+	VMOVUPD      (R8), Y5
+	VMOVUPD      (R9), Y6
+	VMOVUPD      (R10), Y7
+	VMOVUPD      (R11), Y8
+	VMULPD       Y4, Y5, Y5
+	VMULPD       Y4, Y6, Y6
+	VMULPD       Y4, Y7, Y7
+	VMULPD       Y4, Y8, Y8
+	VADDPD       Y5, Y0, Y0
+	VADDPD       Y6, Y1, Y1
+	VADDPD       Y7, Y2, Y2
+	VADDPD       Y8, Y3, Y3
+	ADDQ         $32, R8
+	ADDQ         $32, R9
+	ADDQ         $32, R10
+	ADDQ         $32, R11
+	INCQ         CX
+	JMP          hloop
+
+hdone:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	ADDQ    $128, DX
+
+	// R11 has walked exactly one block past its start, i.e. onto the
+	// next group's first block.
+	MOVQ R11, R8
+	DECQ R13
+	JMP  group
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuHasAVX2() bool
+//
+// CPUID.1:ECX must report OSXSAVE+AVX, XCR0 must have XMM+YMM state
+// enabled, and CPUID.7.0:EBX must report AVX2.
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $0x18000000, R8
+	CMPL R8, $0x18000000
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	BTL  $5, BX
+	JNC  no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,54 @@
+//go:build amd64
+
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSIMDMatchesScalar runs the same sequences through the kernel with
+// the AVX2 backend on and off and demands bitwise-identical outputs —
+// the separate-multiply-then-add lane arithmetic must be exactly the
+// scalar chain. Skipped on machines without AVX2 (the toggle would test
+// scalar against itself).
+func TestSIMDMatchesScalar(t *testing.T) {
+	if !haveSIMD {
+		t.Skip("no AVX2; SIMD path unavailable")
+	}
+	defer func(v bool) { haveSIMD = v }(haveSIMD)
+	for _, sh := range kernelShapes {
+		lstm := NewLSTM(sh.in, sh.hidden, sh.layers, 61)
+		im := lstm.Compile()
+		xs := randSeq(62, 9, sh.in)
+
+		haveSIMD = true
+		simdSt := im.NewState()
+		simd := make([][]float64, len(xs))
+		for tt, x := range xs {
+			simd[tt] = append([]float64(nil), im.StepInto(simdSt, x)...)
+		}
+		simdFwd := im.Forward(xs)
+
+		haveSIMD = false
+		scalSt := im.NewState()
+		for tt, x := range xs {
+			got := im.StepInto(scalSt, x)
+			for j := range got {
+				if math.Float64bits(got[j]) != math.Float64bits(simd[tt][j]) {
+					t.Fatalf("shape %+v step %d h[%d]: scalar %v != simd %v",
+						sh, tt, j, got[j], simd[tt][j])
+				}
+			}
+		}
+		scalFwd := im.Forward(xs)
+		for tt := range scalFwd {
+			for j := range scalFwd[tt] {
+				if math.Float64bits(scalFwd[tt][j]) != math.Float64bits(simdFwd[tt][j]) {
+					t.Fatalf("shape %+v forward step %d h[%d]: scalar %v != simd %v",
+						sh, tt, j, scalFwd[tt][j], simdFwd[tt][j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package nn
+
+// Portable fallback: no SIMD backend, gatePreScalar covers every unit.
+
+const haveSIMD = false
+
+func layerPreSIMD(blocks, x, h, pre, out *float64, nx, nh, groups, xoff, blkBytes int64) {
+	panic("nn: layerPreSIMD called without SIMD support")
+}

@@ -55,10 +55,24 @@ type lstmCache struct {
 	c, tanhC, h     []float64
 }
 
-// step computes one forward step, returning (h, c) and the cache.
-func (l *LSTMLayer) step(x, hPrev, cPrev []float64) *lstmCache {
+// attach carves the cache's seven activation vectors out of slab (length
+// at least 7*H). ForwardSequence allocates one slab per layer for the
+// whole sequence instead of seven small slices per step.
+func (c *lstmCache) attach(slab []float64, H int) {
+	c.i, slab = slab[:H:H], slab[H:]
+	c.f, slab = slab[:H:H], slab[H:]
+	c.g, slab = slab[:H:H], slab[H:]
+	c.o, slab = slab[:H:H], slab[H:]
+	c.c, slab = slab[:H:H], slab[H:]
+	c.tanhC, slab = slab[:H:H], slab[H:]
+	c.h = slab[:H:H]
+}
+
+// step computes one forward step into cache (whose activation vectors
+// must already be attached). pre is caller scratch of at least 4*Hidden;
+// the cache retains x, hPrev and cPrev by reference.
+func (l *LSTMLayer) step(x, hPrev, cPrev, pre []float64, cache *lstmCache) {
 	H := l.Hidden
-	pre := make([]float64, 4*H)
 	for j := 0; j < 4*H; j++ {
 		s := l.B.W[j]
 		rx := l.Wx.W[j*l.In : (j+1)*l.In]
@@ -71,12 +85,7 @@ func (l *LSTMLayer) step(x, hPrev, cPrev []float64) *lstmCache {
 		}
 		pre[j] = s
 	}
-	cache := &lstmCache{
-		x: x, hPrev: hPrev, cPrev: cPrev,
-		i: make([]float64, H), f: make([]float64, H),
-		g: make([]float64, H), o: make([]float64, H),
-		c: make([]float64, H), tanhC: make([]float64, H), h: make([]float64, H),
-	}
+	cache.x, cache.hPrev, cache.cPrev = x, hPrev, cPrev
 	for j := 0; j < H; j++ {
 		cache.i[j] = sigmoid(pre[j])
 		cache.f[j] = sigmoid(pre[H+j])
@@ -86,16 +95,17 @@ func (l *LSTMLayer) step(x, hPrev, cPrev []float64) *lstmCache {
 		cache.tanhC[j] = math.Tanh(cache.c[j])
 		cache.h[j] = cache.o[j] * cache.tanhC[j]
 	}
-	return cache
 }
 
 // stepBackward accumulates gradients for one timestep. dh and dc are the
-// gradients flowing into this step's h and c outputs; it returns the
-// gradients for x, hPrev and cPrev.
-func (l *LSTMLayer) stepBackward(cache *lstmCache, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+// gradients flowing into this step's h and c outputs; dx, dhPrev and
+// dcPrev receive the gradients for x, hPrev and cPrev (dx and dhPrev are
+// zeroed here first; dcPrev may alias dc — every element is read before
+// it is overwritten). dPre is caller scratch of at least 4*Hidden. The
+// arithmetic and accumulation order are exactly the historical
+// allocate-per-step version's, so training remains byte-identical.
+func (l *LSTMLayer) stepBackward(cache *lstmCache, dh, dc, dPre, dx, dhPrev, dcPrev []float64) {
 	H := l.Hidden
-	dPre := make([]float64, 4*H)
-	dcPrev = make([]float64, H)
 	for j := 0; j < H; j++ {
 		do := dh[j] * cache.tanhC[j]
 		dcj := dc[j] + dh[j]*cache.o[j]*(1-cache.tanhC[j]*cache.tanhC[j])
@@ -108,8 +118,12 @@ func (l *LSTMLayer) stepBackward(cache *lstmCache, dh, dc []float64) (dx, dhPrev
 		dPre[2*H+j] = dg * (1 - cache.g[j]*cache.g[j])
 		dPre[3*H+j] = do * cache.o[j] * (1 - cache.o[j])
 	}
-	dx = make([]float64, l.In)
-	dhPrev = make([]float64, H)
+	for k := range dx {
+		dx[k] = 0
+	}
+	for k := range dhPrev {
+		dhPrev[k] = 0
+	}
 	for j := 0; j < 4*H; j++ {
 		g := dPre[j]
 		if g == 0 {
@@ -129,7 +143,6 @@ func (l *LSTMLayer) stepBackward(cache *lstmCache, dh, dc []float64) (dx, dhPrev
 			dhPrev[k] += g * rh[k]
 		}
 	}
-	return dx, dhPrev, dcPrev
 }
 
 // LSTM is a stack of LSTM layers (Fig 6's multi-layer state encoder).
@@ -194,7 +207,9 @@ func (m *LSTM) stepCached(s *State, x []float64) ([]float64, *State, []*lstmCach
 	caches := make([]*lstmCache, len(m.Layers))
 	in := x
 	for li, l := range m.Layers {
-		cache := l.step(in, s.h[li], s.c[li])
+		cache := &lstmCache{}
+		cache.attach(make([]float64, 7*l.Hidden), l.Hidden)
+		l.step(in, s.h[li], s.c[li], make([]float64, 4*l.Hidden), cache)
 		caches[li] = cache
 		ns.h = append(ns.h, cache.h)
 		ns.c = append(ns.c, cache.c)
@@ -203,17 +218,54 @@ func (m *LSTM) stepCached(s *State, x []float64) ([]float64, *State, []*lstmCach
 	return in, ns, caches
 }
 
+// maxHidden returns the widest layer's hidden size.
+func (m *LSTM) maxHidden() int {
+	maxH := 0
+	for _, l := range m.Layers {
+		if l.Hidden > maxH {
+			maxH = l.Hidden
+		}
+	}
+	return maxH
+}
+
 // ForwardSequence runs the stack over a sequence from a zero state and
 // returns the top-layer hidden vector at every timestep plus the caches
-// needed by BackwardSequence.
+// needed by BackwardSequence. Scratch is allocated per sequence, not per
+// step: one activation slab per layer and one shared pre-activation
+// buffer, so a T-step forward costs O(layers) allocations instead of
+// O(T·layers) — the arithmetic is unchanged, so training stays
+// byte-identical.
 func (m *LSTM) ForwardSequence(xs [][]float64) ([][]float64, [][]*lstmCache) {
+	T := len(xs)
+	L := len(m.Layers)
+	outs := make([][]float64, T)
+	caches := make([][]*lstmCache, T)
+	structs := make([]lstmCache, T*L)
+	for t := range caches {
+		caches[t] = make([]*lstmCache, L)
+		for li := range caches[t] {
+			caches[t][li] = &structs[t*L+li]
+		}
+	}
+	for li, l := range m.Layers {
+		H := l.Hidden
+		slab := make([]float64, T*7*H)
+		for t := 0; t < T; t++ {
+			caches[t][li].attach(slab[t*7*H:(t+1)*7*H], H)
+		}
+	}
+	pre := make([]float64, 4*m.maxHidden())
 	state := m.NewState()
-	outs := make([][]float64, len(xs))
-	caches := make([][]*lstmCache, len(xs))
 	for t, x := range xs {
-		var out []float64
-		out, state, caches[t] = m.stepCached(state, x)
-		outs[t] = out
+		in := x
+		for li, l := range m.Layers {
+			c := caches[t][li]
+			l.step(in, state.h[li], state.c[li], pre, c)
+			state.h[li], state.c[li] = c.h, c.c
+			in = c.h
+		}
+		outs[t] = in
 	}
 	return outs, caches
 }
@@ -221,31 +273,51 @@ func (m *LSTM) ForwardSequence(xs [][]float64) ([][]float64, [][]*lstmCache) {
 // BackwardSequence back-propagates through time: dOut[t] is the loss
 // gradient with respect to the top-layer hidden output at step t.
 // Parameter gradients accumulate into the layers' Grad buffers. It returns
-// the gradient with respect to each input xs[t].
+// the gradient with respect to each input xs[t]. Like ForwardSequence it
+// allocates scratch per sequence, not per step: dc updates in place
+// (stepBackward reads each element before overwriting it), dh double-
+// buffers per layer, and upper layers' dx reuse one buffer each — only
+// layer 0's dx slices persist, carved from a single slab, because they
+// are the returned values.
 func (m *LSTM) BackwardSequence(caches [][]*lstmCache, dOut [][]float64) [][]float64 {
 	L := len(m.Layers)
 	T := len(caches)
 	dxs := make([][]float64, T)
+	maxH := m.maxHidden()
 	// Per-layer gradients flowing backward in time.
 	dh := make([][]float64, L)
+	dhNext := make([][]float64, L)
 	dc := make([][]float64, L)
+	dxBuf := make([][]float64, L)
 	for li, l := range m.Layers {
 		dh[li] = make([]float64, l.Hidden)
+		dhNext[li] = make([]float64, l.Hidden)
 		dc[li] = make([]float64, l.Hidden)
+		if li > 0 {
+			dxBuf[li] = make([]float64, l.In)
+		}
 	}
+	in0 := m.Layers[0].In
+	dxSlab := make([]float64, T*in0)
+	dhTotal := make([]float64, maxH)
+	dPre := make([]float64, 4*maxH)
 	for t := T - 1; t >= 0; t-- {
 		// Gradient entering the top layer's h at step t: from the loss plus
 		// recurrent flow.
 		carry := dOut[t]
 		for li := L - 1; li >= 0; li-- {
-			dhTotal := make([]float64, m.Layers[li].Hidden)
-			copy(dhTotal, dh[li])
+			l := m.Layers[li]
+			dht := dhTotal[:l.Hidden]
+			copy(dht, dh[li])
 			for k := range carry {
-				dhTotal[k] += carry[k]
+				dht[k] += carry[k]
 			}
-			dx, dhPrev, dcPrev := m.Layers[li].stepBackward(caches[t][li], dhTotal, dc[li])
-			dh[li] = dhPrev
-			dc[li] = dcPrev
+			dx := dxBuf[li]
+			if li == 0 {
+				dx = dxSlab[t*in0 : (t+1)*in0]
+			}
+			l.stepBackward(caches[t][li], dht, dc[li], dPre, dx, dhNext[li], dc[li])
+			dh[li], dhNext[li] = dhNext[li], dh[li]
 			carry = dx // becomes the gradient into the layer below's h
 		}
 		dxs[t] = carry

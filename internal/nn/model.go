@@ -2,6 +2,7 @@ package nn
 
 import (
 	"math"
+	"sync"
 )
 
 // GaussianOutput is a predicted delay distribution N(Mu, Sigma²), the
@@ -72,6 +73,44 @@ type SequenceModel struct {
 	Kind HeadKind
 	LSTM *LSTM
 	Head *Dense
+
+	// Lazily compiled inference kernels (see infer.go). Guarded by mu;
+	// invalidated whenever TrainSequence touches the weights so a kernel
+	// never serves stale parameters.
+	mu    sync.Mutex
+	infer *InferModel
+	quant *InferModel
+}
+
+// Infer returns the compiled float inference kernel for the current
+// weights, compiling it on first use. Safe for concurrent callers.
+func (m *SequenceModel) Infer() *InferModel {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.infer == nil {
+		m.infer = m.LSTM.Compile()
+	}
+	return m.infer
+}
+
+// InferQuantized is Infer for the opt-in int8 kernel. Unlike every other
+// inference path it is NOT bitwise-identical to LSTM.Step — see
+// infer_int8.go for the accuracy caveats.
+func (m *SequenceModel) InferQuantized() *InferModel {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.quant == nil {
+		m.quant = m.LSTM.CompileQuantized()
+	}
+	return m.quant
+}
+
+// invalidateKernels drops compiled kernels after a weight update.
+func (m *SequenceModel) invalidateKernels() {
+	m.mu.Lock()
+	m.infer = nil
+	m.quant = nil
+	m.mu.Unlock()
 }
 
 // NewSequenceModel builds an LSTM stack (in→hidden ×layers) with the
@@ -110,6 +149,9 @@ func (m *SequenceModel) TrainSequence(xs [][]float64, ys []float64, mask []bool)
 	if len(xs) == 0 || len(xs) != len(ys) {
 		return math.NaN()
 	}
+	// The optimizer step that follows this call will change the weights;
+	// drop any compiled inference kernel now so the next Infer() sees them.
+	m.invalidateKernels()
 	outs, caches := m.LSTM.ForwardSequence(xs)
 	dOut := make([][]float64, len(xs))
 	total := 0.0
@@ -155,43 +197,74 @@ func (m *SequenceModel) TrainSequence(xs [][]float64, ys []float64, mask []bool)
 
 // Predictor is a stateful inference handle over a trained SequenceModel,
 // supporting the closed-loop unrolling of Fig 6 (predicted delays fed back
-// as the next step's input by the caller).
+// as the next step's input by the caller). It runs on the compiled
+// inference kernel (see infer.go): steps are allocation-free and
+// bitwise-identical to LSTM.Step. The kernel binds the weights as of
+// construction; build a new Predictor after further training.
 type Predictor struct {
 	model *SequenceModel
-	state *State
+	im    *InferModel
+	st    *InferState
+	head  []float64
 }
 
 // NewPredictor returns an inference handle with zero state.
 func (m *SequenceModel) NewPredictor() *Predictor {
-	return &Predictor{model: m, state: m.LSTM.NewState()}
+	im := m.Infer()
+	return &Predictor{model: m, im: im, st: im.NewState(), head: make([]float64, m.Head.Out)}
 }
 
-// Reset zeroes the recurrent state.
-func (p *Predictor) Reset() { p.state = p.model.LSTM.NewState() }
+// NewPredictorQuantized is NewPredictor on the opt-in int8 kernel (not
+// bitwise-identical; see infer_int8.go).
+func (m *SequenceModel) NewPredictorQuantized() *Predictor {
+	im := m.InferQuantized()
+	return &Predictor{model: m, im: im, st: im.NewState(), head: make([]float64, m.Head.Out)}
+}
+
+// Reset zeroes the recurrent state in place.
+func (p *Predictor) Reset() { p.st.Reset() }
 
 // StepGaussian advances one timestep and returns the predicted delay
-// distribution. Valid only for GaussianHead models.
+// distribution. Valid only for GaussianHead models. Allocation-free.
 func (p *Predictor) StepGaussian(x []float64) GaussianOutput {
-	var h []float64
-	h, p.state = p.model.LSTM.Step(p.state, x)
-	return gaussianFromHead(p.model.Head.Forward(h))
+	h := p.im.StepInto(p.st, x)
+	p.model.Head.ForwardInto(h, p.head)
+	return gaussianFromHead(p.head)
 }
 
 // StepProb advances one timestep and returns the predicted event
-// probability. Valid only for BinaryHead models.
+// probability. Valid only for BinaryHead models. Allocation-free.
 func (p *Predictor) StepProb(x []float64) float64 {
-	var h []float64
-	h, p.state = p.model.LSTM.Step(p.state, x)
-	return sigmoid(p.model.Head.Forward(h)[0])
+	h := p.im.StepInto(p.st, x)
+	p.model.Head.ForwardInto(h, p.head)
+	return sigmoid(p.head[0])
+}
+
+// HeadGaussian maps a top-layer hidden vector (e.g. InferState.Top)
+// through the Gaussian head without allocating; scratch must have
+// length Head.Out. Identical arithmetic to StepGaussian's head stage.
+func (m *SequenceModel) HeadGaussian(h, scratch []float64) GaussianOutput {
+	m.Head.ForwardInto(h, scratch)
+	return gaussianFromHead(scratch)
 }
 
 // PredictSequence runs Gaussian inference over a whole input sequence from
-// a fresh state (open loop: the caller supplies all features).
+// a fresh state (open loop: the caller supplies all features). Because the
+// window is fully known, the input projections run as one blocked GEMM per
+// layer (InferModel.Forward) — same results, far fewer weight streams.
 func (m *SequenceModel) PredictSequence(xs [][]float64) []GaussianOutput {
-	p := m.NewPredictor()
+	return m.PredictSequenceOn(m.Infer(), xs)
+}
+
+// PredictSequenceOn is PredictSequence on a specific compiled kernel
+// (e.g. InferQuantized for the opt-in int8 path).
+func (m *SequenceModel) PredictSequenceOn(im *InferModel, xs [][]float64) []GaussianOutput {
+	hs := im.Forward(xs)
 	out := make([]GaussianOutput, len(xs))
-	for t, x := range xs {
-		out[t] = p.StepGaussian(x)
+	head := make([]float64, m.Head.Out)
+	for t, h := range hs {
+		m.Head.ForwardInto(h, head)
+		out[t] = gaussianFromHead(head)
 	}
 	return out
 }

@@ -107,15 +107,21 @@ func NewDense(in, out int, seed int64) *Dense {
 // Forward computes the layer output for input x.
 func (d *Dense) Forward(x []float64) []float64 {
 	y := make([]float64, d.Out)
+	d.ForwardInto(x, y)
+	return y
+}
+
+// ForwardInto computes the layer output into dst (length Out) without
+// allocating. Identical arithmetic to Forward.
+func (d *Dense) ForwardInto(x, dst []float64) {
 	for o := 0; o < d.Out; o++ {
 		s := d.B.W[o]
 		row := d.W.W[o*d.In : (o+1)*d.In]
 		for i, xi := range x {
 			s += row[i] * xi
 		}
-		y[o] = s
+		dst[o] = s
 	}
-	return y
 }
 
 // Backward accumulates parameter gradients for output gradient dy at input

@@ -62,6 +62,12 @@ func (m *SequenceModel) UnmarshalJSON(data []byte) error {
 		}
 		copy(p.W, in.Params[i])
 	}
-	*m = *restored
+	// Field-wise assignment: SequenceModel carries a mutex guarding its
+	// compiled-kernel cache, so the struct must not be copied wholesale.
+	// The fresh weights also mean any cached kernels are stale.
+	m.Kind = restored.Kind
+	m.LSTM = restored.LSTM
+	m.Head = restored.Head
+	m.invalidateKernels()
 	return nil
 }

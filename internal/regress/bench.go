@@ -21,6 +21,19 @@ type BenchMeasurement struct {
 	Seconds     float64               `json:"seconds"`
 	Reps        int                   `json:"reps"`
 	ItemLatency *obs.HistogramSummary `json:"item_latency,omitempty"`
+	// Fidelity ties a speed measurement to model quality, so a bench
+	// "win" that silently trades accuracy away (e.g. the int8 kernel)
+	// gates on the same fidelity classes as a run report.
+	Fidelity *BenchFidelity `json:"fidelity,omitempty"`
+}
+
+// BenchFidelity is the model-quality scorecard attached to a benchmark
+// mode that runs real inference: held-out NLL (lower better, gates like
+// a time metric) and PIT deviation (distance from the uniform ideal,
+// gates on absolute worsening).
+type BenchFidelity struct {
+	NLL          float64 `json:"nll"`
+	PITDeviation float64 `json:"pit_deviation"`
 }
 
 // BenchSummary is the BENCH_parallel.json schema.
@@ -64,6 +77,10 @@ func benchMetrics(s *BenchSummary) map[string]metric {
 			add(p+"item.count", float64(b.ItemLatency.Count), classCount, 1)
 			add(p+"item.p50", b.ItemLatency.P50, classTime, 1e9)
 			add(p+"item.p99", b.ItemLatency.P99, classTime, 1e9)
+		}
+		if b.Fidelity != nil {
+			add(p+"fidelity.nll", b.Fidelity.NLL, classNLL, 1)
+			add(p+"fidelity.pit_deviation", b.Fidelity.PITDeviation, classDistance, 1)
 		}
 	}
 	for name, v := range s.Speedups {

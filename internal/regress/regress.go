@@ -107,11 +107,18 @@ type Status int
 const (
 	StatusOK Status = iota
 	StatusRegressed
+	StatusImproved // markedly better than base — celebrated, never gates
 	StatusSkipped
 	StatusInfo
 	StatusMissing // in base, not in new
 	StatusNew     // in new, not in base
 )
+
+// improveFrac is the relative improvement a gating metric must beat
+// (alongside the class's absolute floor) to be celebrated as IMPROVED
+// rather than quietly ok — the mirror image of a regression, so genuine
+// wins are as loud in the table as genuine losses.
+const improveFrac = 0.25
 
 func (s Status) String() string {
 	switch s {
@@ -119,6 +126,8 @@ func (s Status) String() string {
 		return "ok"
 	case StatusRegressed:
 		return "REGRESSED"
+	case StatusImproved:
+		return "IMPROVED"
 	case StatusSkipped:
 		return "skipped"
 	case StatusInfo:
@@ -142,10 +151,12 @@ type Delta struct {
 	Status Status
 }
 
-// Result is a full comparison: every delta row plus the regression count.
+// Result is a full comparison: every delta row plus the regression and
+// improvement counts.
 type Result struct {
-	Deltas      []Delta
-	Regressions int
+	Deltas       []Delta
+	Regressions  int
+	Improvements int
 }
 
 // Failed reports whether the gate should fail (any regression or missing
@@ -197,8 +208,11 @@ func compareMetrics(base, new map[string]metric, th Thresholds) *Result {
 		default:
 			d.Rel = rel(b.value, nw.value)
 			d.Status, d.Limit = gate(b, nw, th)
-			if d.Status == StatusRegressed {
+			switch d.Status {
+			case StatusRegressed:
 				res.Regressions++
+			case StatusImproved:
+				res.Improvements++
 			}
 		}
 		res.Deltas = append(res.Deltas, d)
@@ -223,6 +237,9 @@ func gate(b, nw metric, th Thresholds) (Status, string) {
 		floor := th.TimeFloorSeconds * b.unit
 		if nw.value > b.value*(1+th.Time) && nw.value-b.value > floor {
 			return StatusRegressed, limit
+		}
+		if nw.value < b.value*(1-improveFrac) && b.value-nw.value > floor {
+			return StatusImproved, limit
 		}
 		return StatusOK, limit
 	case classCount:
@@ -250,6 +267,9 @@ func gate(b, nw metric, th Thresholds) (Status, string) {
 		if nw.value > b.value*(1+th.Fidelity) && nw.value-b.value > 0.05 {
 			return StatusRegressed, limit
 		}
+		if nw.value < b.value*(1-improveFrac) && b.value-nw.value > 0.05 {
+			return StatusImproved, limit
+		}
 		return StatusOK, limit
 	case classDistance:
 		// Values are distances from ideal (0 is perfect); gate on
@@ -257,6 +277,9 @@ func gate(b, nw metric, th Thresholds) (Status, string) {
 		limit := fmt.Sprintf("<= +%.2f abs", th.Fidelity)
 		if nw.value > b.value+th.Fidelity {
 			return StatusRegressed, limit
+		}
+		if nw.value < b.value-th.Fidelity {
+			return StatusImproved, limit
 		}
 		return StatusOK, limit
 	}
@@ -361,14 +384,16 @@ func (r *Result) Table() string {
 			return 0
 		case StatusMissing:
 			return 1
-		case StatusOK:
+		case StatusImproved:
 			return 2
-		case StatusNew:
+		case StatusOK:
 			return 3
-		case StatusInfo:
+		case StatusNew:
 			return 4
+		case StatusInfo:
+			return 5
 		}
-		return 5
+		return 6
 	}
 	sort.SliceStable(rows, func(i, j int) bool {
 		return sevRank(rows[i].Status) < sevRank(rows[j].Status)
@@ -420,10 +445,25 @@ func (r *Result) Table() string {
 	for _, row := range cells {
 		writeRow(row)
 	}
+	b.WriteByte('\n')
+	if r.Improvements > 0 {
+		// Celebrate wins as loudly as losses: name the biggest one.
+		bestName, bestRel := "", 0.0
+		for _, d := range r.Deltas {
+			if d.Status == StatusImproved && !math.IsNaN(d.Rel) && d.Rel < bestRel {
+				bestName, bestRel = d.Metric, d.Rel
+			}
+		}
+		fmt.Fprintf(&b, "IMPROVED: %d metric(s) markedly better than base", r.Improvements)
+		if bestName != "" {
+			fmt.Fprintf(&b, " (best: %s %+.1f%%)", bestName, bestRel*100)
+		}
+		b.WriteString(" 🎉\n")
+	}
 	if r.Regressions > 0 {
-		fmt.Fprintf(&b, "\nREGRESSED: %d metric(s) beyond threshold\n", r.Regressions)
+		fmt.Fprintf(&b, "REGRESSED: %d metric(s) beyond threshold\n", r.Regressions)
 	} else {
-		fmt.Fprintf(&b, "\nok: no regressions across %d metric(s)\n", len(r.Deltas))
+		fmt.Fprintf(&b, "ok: no regressions across %d metric(s)\n", len(r.Deltas))
 	}
 	return b.String()
 }

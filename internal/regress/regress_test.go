@@ -235,3 +235,67 @@ func TestTableRendering(t *testing.T) {
 		}
 	}
 }
+
+// TestImprovementCelebrated: a marked speedup must surface as IMPROVED —
+// counted, distinctly marked in the table, and summarized — while never
+// failing the gate.
+func TestImprovementCelebrated(t *testing.T) {
+	base, new := sampleReport(), sampleReport()
+	new.Stages[2].Seconds = 0.4 // evaluate: 1.0s → 0.4s, a 2.5x win
+	res := CompareReports(base, new, DefaultThresholds())
+	if res.Failed() {
+		t.Fatalf("an improvement failed the gate:\n%s", res.Table())
+	}
+	if res.Improvements == 0 {
+		t.Fatalf("Improvements = 0, want > 0:\n%s", res.Table())
+	}
+	if d := findDelta(t, res, "stage.fig2/evaluate.seconds"); d.Status != StatusImproved {
+		t.Fatalf("evaluate status = %v, want IMPROVED", d.Status)
+	}
+	tbl := res.Table()
+	if !strings.Contains(tbl, "IMPROVED") {
+		t.Fatalf("table lacks IMPROVED marker:\n%s", tbl)
+	}
+	if !strings.Contains(tbl, "markedly better") {
+		t.Fatalf("table lacks improvement summary line:\n%s", tbl)
+	}
+}
+
+// TestSmallWinStaysOK: improvements inside the noise band (below the
+// celebrate fraction or the absolute floor) stay plain ok.
+func TestSmallWinStaysOK(t *testing.T) {
+	base, new := sampleReport(), sampleReport()
+	new.Stages[2].Seconds = 0.9 // evaluate: -10%, within jitter
+	res := CompareReports(base, new, DefaultThresholds())
+	if d := findDelta(t, res, "stage.fig2/evaluate.seconds"); d.Status != StatusOK {
+		t.Fatalf("evaluate status = %v, want ok", d.Status)
+	}
+	if res.Improvements != 0 {
+		t.Fatalf("Improvements = %d, want 0", res.Improvements)
+	}
+}
+
+// TestBenchFidelityGates: a fidelity block on a bench measurement gates
+// like a run report's — a speed win that costs accuracy must regress.
+func TestBenchFidelityGates(t *testing.T) {
+	mk := func(nll, pit float64) *BenchSummary {
+		return &BenchSummary{
+			GoMaxProcs: 4,
+			Benchmarks: []BenchMeasurement{
+				{Name: "Kernel/h48l2", Mode: "int8", Workers: 1, NsPerOp: 5e4,
+					Fidelity: &BenchFidelity{NLL: nll, PITDeviation: pit}},
+			},
+		}
+	}
+	if res := CompareBench(mk(1.4, 0.03), mk(1.4, 0.03), DefaultThresholds()); res.Failed() {
+		t.Fatalf("identical bench fidelity regressed:\n%s", res.Table())
+	}
+	res := CompareBench(mk(1.4, 0.03), mk(2.4, 0.03), DefaultThresholds())
+	if d := findDelta(t, res, "bench.Kernel/h48l2.int8.fidelity.nll"); d.Status != StatusRegressed {
+		t.Fatalf("nll status = %v, want REGRESSED\n%s", d.Status, res.Table())
+	}
+	res = CompareBench(mk(1.4, 0.03), mk(1.4, 0.30), DefaultThresholds())
+	if d := findDelta(t, res, "bench.Kernel/h48l2.int8.fidelity.pit_deviation"); d.Status != StatusRegressed {
+		t.Fatalf("pit status = %v, want REGRESSED\n%s", d.Status, res.Table())
+	}
+}

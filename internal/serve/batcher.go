@@ -13,11 +13,13 @@ import (
 
 // batcher micro-batches iBoxML replay requests. Requests arriving within
 // one dispatch window for the same model checkpoint are simulated in a
-// single iboxml.SimulateTraceBatch call, which streams the LSTM weights
-// through the cache once per step for the whole group instead of once
-// per request. Because the batched kernel is bitwise-identical to the
-// unbatched one, batching changes only latency and throughput — never a
-// single response byte — so it can be toggled freely (Config.NoBatch).
+// single iboxml.SimulateTraceBatch call, which shares the per-window
+// setup (feature build, standardization, input pre-projection) across
+// the group and advances all members in allocation-free lockstep through
+// the compiled inference kernel. Because the batched walk is
+// bitwise-identical to the unbatched one, batching changes only latency
+// and throughput — never a single response byte — so it can be toggled
+// freely (Config.NoBatch).
 type batcher struct {
 	pool   *par.Pool
 	window time.Duration
