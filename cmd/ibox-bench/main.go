@@ -29,6 +29,12 @@
 //     asserted bitwise-identical to the training path before timings are
 //     reported, and each mode prints the implied emulation rate
 //     (§4.2's packets-per-second budget as Mbps of 1500-byte packets).
+//   - obs: the cost of observing. Self-checks first — the disabled
+//     obs path and the labeled hot-path lookup must be zero-alloc
+//     (testing.AllocsPerRun) — then concurrent serving bursts with
+//     observability fully off vs fully on (metrics + labeled families +
+//     access log + trace sampling), so a metrics-layer change that taxes
+//     the request path gates in CI like any other regression.
 //
 // Usage:
 //
@@ -37,20 +43,25 @@
 //	ibox-bench -suite serve            # BENCH_serve.json
 //	ibox-bench -suite nested           # BENCH_nested.json
 //	ibox-bench -suite kernel           # BENCH_kernel.json
+//	ibox-bench -suite obs              # BENCH_obs.json
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
+	"testing"
 	"time"
 
 	"ibox/internal/experiments"
@@ -68,7 +79,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ibox-bench: ")
 	var (
-		suite     = flag.String("suite", "experiments", "benchmark suite: experiments, serve, nested or kernel")
+		suite     = flag.String("suite", "experiments", "benchmark suite: experiments, serve, nested, kernel or obs")
 		scaleName = flag.String("scale", "quick", "experiment scale: quick or paper (experiments suite)")
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		reps      = flag.Int("reps", 5, "repetitions per (benchmark, mode); the minimum is reported")
@@ -98,6 +109,11 @@ func main() {
 			*out = "BENCH_kernel.json"
 		}
 		sum = kernelSuite(*seed, *reps)
+	case "obs":
+		if *out == "" {
+			*out = "BENCH_obs.json"
+		}
+		sum = obsSuite(*seed, *reps)
 	default:
 		log.Fatalf("unknown suite %q", *suite)
 	}
@@ -535,6 +551,170 @@ func kernelSuite(seed int64, reps int) regress.BenchSummary {
 		}
 		fmt.Printf("%-15s stepinto speedup %6.2fx  window speedup %6.2fx\n",
 			name, sum.Speedups[name+"/stepinto"], sum.Speedups[name+"/window"])
+	}
+	return sum
+}
+
+// obsSuite measures what observing costs. It first asserts the two
+// allocation contracts the obs package is built around — the disabled
+// path and the labeled hot-path lookup allocate zero bytes per call —
+// and then measures concurrent iBoxML replay bursts through the full
+// HTTP serving path with observability entirely off (no registry, no
+// logger) vs entirely on (metrics, labeled families, JSON access log,
+// 1-in-8 trace sampling). The off/on wall-clock ratio lands in
+// Speedups, and both modes' timings gate in CI via ibox-compare: if a
+// metrics-layer change taxes the request path beyond the noise floor,
+// the gate trips.
+func obsSuite(seed int64, reps int) regress.BenchSummary {
+	// --- allocation self-checks -------------------------------------
+	// Disabled registry: nil handles, including labeled ones, must cost
+	// nothing per call.
+	obs.Disable()
+	obs.SetLogger(nil)
+	var (
+		nilCtr  *obs.Counter
+		nilHist *obs.Histogram
+		nilCV   *obs.CounterVec
+		nilHV   *obs.HistogramVec
+	)
+	if n := testing.AllocsPerRun(200, func() {
+		nilCtr.Add(1)
+		nilHist.Observe(12345)
+		nilCV.With("simulate", "2xx").Add(1)
+		nilHV.With("simulate", "m.json", "2xx", "true").Observe(12345)
+	}); n != 0 {
+		log.Fatalf("obs: disabled path allocates %.1f bytes/op, want 0", n)
+	}
+	// Enabled hit path: after a label set's first use, every subsequent
+	// With on the same values must hit the copy-on-write map without
+	// allocating.
+	reg := obs.Enable()
+	cv := reg.CounterVec("bench.http_requests", "route", "status")
+	hv := reg.HistogramVec("bench.request_ns", "route", "model", "status", "batched")
+	cv.With("simulate", "2xx").Add(1)
+	hv.With("simulate", "m.json", "2xx", "true").Observe(1)
+	if n := testing.AllocsPerRun(200, func() {
+		cv.With("simulate", "2xx").Add(1)
+		hv.With("simulate", "m.json", "2xx", "true").Observe(12345)
+	}); n != 0 {
+		log.Fatalf("obs: labeled hot-path lookup allocates %.1f bytes/op, want 0", n)
+	}
+	obs.Disable()
+	fmt.Println("obs allocation contracts hold: disabled path 0 B/op, labeled hit path 0 B/op")
+
+	// --- serving overhead: observability off vs on -------------------
+	dir, err := os.MkdirTemp("", "ibox-bench-obs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	input := benchSynthTrace(seed+99, 4*sim.Second)
+	var samples []iboxml.TrainingSample
+	for i := int64(0); i < 2; i++ {
+		samples = append(samples, iboxml.TrainingSample{Trace: benchSynthTrace(seed+i, 4*sim.Second)})
+	}
+	model, err := iboxml.Train(samples, iboxml.Config{Hidden: 96, Layers: 1, Epochs: 1, Seed: seed})
+	if err != nil {
+		log.Fatalf("training bench model: %v", err)
+	}
+	if err := model.Save(dir + "/bench.json"); err != nil {
+		log.Fatal(err)
+	}
+	reqBody, err := json.Marshal(serve.SimulateRequest{Model: "bench.json", Input: input, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sum := regress.BenchSummary{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      "obs",
+		Seed:       seed,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Speedups:   map[string]float64{},
+	}
+	const burst = 8
+	modes := []struct {
+		mode       string
+		instrument bool
+	}{
+		{"off", false},
+		{"on", true},
+	}
+	name := fmt.Sprintf("ObsOverhead/burst%d", burst)
+	best := map[string]time.Duration{}
+	for _, m := range modes {
+		var spanLimited *obs.Registry
+		if m.instrument {
+			spanLimited = obs.Enable()
+			spanLimited.SetSpanLimit(1024)
+			obs.SetLogger(slog.New(obs.NewLogHandler(io.Discard, slog.LevelInfo)))
+		} else {
+			obs.Disable()
+			obs.SetLogger(nil)
+		}
+		cfg := serve.Config{ModelDir: dir, Workers: 1, MaxConcurrent: 2 * burst,
+			BatchWindow: 5 * time.Millisecond, BatchMax: burst}
+		if m.instrument {
+			cfg.TraceSample = 1.0 / 8
+		}
+		s, err := serve.NewServer(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Registry().Warm([]string{"bench.json"}); err != nil {
+			log.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+
+		fire := func() time.Duration {
+			start := time.Now()
+			var wg sync.WaitGroup
+			for i := 0; i < burst; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(reqBody))
+					if err != nil {
+						log.Fatalf("%s/%s: %v", name, m.mode, err)
+					}
+					defer resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						log.Fatalf("%s/%s: HTTP %d", name, m.mode, resp.StatusCode)
+					}
+					io.Copy(io.Discard, resp.Body)
+				}()
+			}
+			wg.Wait()
+			return time.Since(start)
+		}
+		fire() // warm-up: model load, pool spin-up, HTTP keep-alives
+		var min time.Duration
+		for r := 0; r < reps; r++ {
+			if d := fire(); r == 0 || d < min {
+				min = d
+			}
+		}
+		ts.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.Shutdown(sctx); err != nil {
+			log.Fatal(err)
+		}
+		cancel()
+		obs.Disable()
+		obs.SetLogger(nil)
+		best[m.mode] = min
+		sum.Benchmarks = append(sum.Benchmarks, regress.BenchMeasurement{
+			Name: name, Mode: m.mode, Workers: 1,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NsPerOp:    min.Nanoseconds(), Seconds: min.Seconds(), Reps: reps,
+		})
+		fmt.Printf("%-24s %-10s %12d ns/burst  (%.3fs)\n", name, m.mode, min.Nanoseconds(), min.Seconds())
+	}
+	if on := best["on"]; on > 0 {
+		ratio := float64(best["off"]) / float64(on)
+		sum.Speedups[name] = ratio
+		fmt.Printf("%-24s off/on     %12.2fx (1.00 = free; below 1 = overhead)\n", name, ratio)
 	}
 	return sum
 }

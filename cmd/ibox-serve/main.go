@@ -1,29 +1,34 @@
 // Command ibox-serve runs the model-serving daemon: trained iBox
 // artifacts (iBoxNet parameter profiles, iBoxML checkpoints) behind a
 // long-running HTTP/JSON API. See internal/serve and DESIGN.md's
-// "Serving architecture" section.
+// "Serving architecture" and "Serving observability" sections.
 //
 // Usage:
 //
 //	ibox-serve -models ./models                        # serve on :8080
 //	ibox-serve -models ./models -warm path-a.json      # preload a model
 //	ibox-serve -models ./models -debug -addr :8080     # + expvar/pprof
+//	ibox-serve -models ./models -trace-sample 0.01 -trace-out trace.json
 //
 // Query it:
 //
 //	curl localhost:8080/v1/models
 //	curl -d '{"model":"path-a.json","protocol":"cubic","duration_s":10,"seed":1}' \
 //	     localhost:8080/v1/simulate
+//	curl localhost:8080/metrics        # Prometheus exposition
+//	curl localhost:8080/statusz        # rolling-window load view
 //
-// The daemon drains gracefully on SIGINT/SIGTERM: readiness flips to
-// 503, in-flight requests finish (up to -drain-timeout), then it exits.
+// All output is structured JSON logs on stderr (one "access" line per
+// /v1 request); -log-level tunes verbosity. The daemon drains
+// gracefully on SIGINT/SIGTERM: readiness flips to 503, in-flight
+// requests finish (up to -drain-timeout), then it exits.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,8 +41,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ibox-serve: ")
 	var (
 		addr         = flag.String("addr", ":8080", "address to listen on")
 		modelDir     = flag.String("models", "", "directory of trained model artifacts (required)")
@@ -53,15 +56,32 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request deadline (overridable per request via timeout_ms)")
 		debug        = flag.Bool("debug", false, "also serve /debug/vars and /debug/pprof")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		logLevel     = flag.String("log-level", "info", "minimum structured-log level: debug, info, warn, error")
+		traceSample  = flag.Float64("trace-sample", 0, "record a trace span lane for this fraction of requests (0 disables)")
+		traceOut     = flag.String("trace-out", "", "write sampled request spans as Chrome trace-event JSON here on shutdown")
+		spanLimit    = flag.Int("span-limit", 4096, "retain at most this many finished spans (oldest overwritten)")
 	)
 	flag.Parse()
-	if *modelDir == "" {
-		log.Fatal("-models is required")
-	}
 
 	// Serving is long-running and observable by design: metrics are always
-	// on, exported at /debug/vars when -debug is set.
-	obs.Enable()
+	// on (scrape /metrics; -debug adds expvar/pprof), and all process
+	// output is structured JSON logs on stderr.
+	reg := obs.Enable()
+	logger := slog.New(obs.NewLogHandler(os.Stderr, obs.ParseLogLevel(*logLevel)))
+	obs.SetLogger(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
+	if *modelDir == "" {
+		fatal("missing flag", errors.New("-models is required"))
+	}
+	if *traceSample > 0 {
+		// Bound span memory: sampled request spans overwrite the oldest
+		// once the ring fills, so uptime doesn't grow the heap.
+		reg.SetSpanLimit(*spanLimit)
+	}
 
 	s, err := serve.NewServer(serve.Config{
 		ModelDir:       *modelDir,
@@ -75,9 +95,10 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		DefaultTimeout: *timeout,
 		Debug:          *debug,
+		TraceSample:    *traceSample,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("startup", err)
 	}
 	if *warm != "" {
 		var ids []string
@@ -87,31 +108,45 @@ func main() {
 			}
 		}
 		if err := s.Registry().Warm(ids); err != nil {
-			log.Fatal(err)
+			fatal("warm", err)
 		}
-		log.Printf("warmed %d model(s)", len(ids))
+		logger.Info("warmed models", "count", len(ids))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- s.ListenAndServe(*addr) }()
-	log.Printf("serving models from %s on %s", *modelDir, *addr)
+	logger.Info("serving", "models", *modelDir, "addr", *addr,
+		"log_level", *logLevel, "trace_sample", *traceSample)
 
 	select {
 	case err := <-done:
-		log.Fatal(err)
+		fatal("listen", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("draining (up to %s)...", *drainTimeout)
+	logger.Info("draining", "timeout", drainTimeout.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := s.Shutdown(dctx); err != nil {
-		log.Fatalf("drain: %v", err)
+		fatal("drain", err)
 	}
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("serve", err)
 	}
-	log.Print("drained cleanly")
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("trace-out", err)
+		}
+		if err := reg.TraceJSON(f); err != nil {
+			fatal("trace-out", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("trace-out", err)
+		}
+		logger.Info("wrote trace", "path", *traceOut)
+	}
+	logger.Info("drained cleanly")
 }

@@ -8,12 +8,15 @@
 //
 //	ibox-stats -trace corpus/cubic-000.json
 //	ibox-stats -report RUN_REPORT.json
+//	curl -s localhost:8080/metrics | ibox-stats -promcheck -
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 	"strings"
 
@@ -27,9 +30,33 @@ func main() {
 	log.SetPrefix("ibox-stats: ")
 	tracePath := flag.String("trace", "", "trace file (JSON)")
 	reportPath := flag.String("report", "", "run report (RUN_REPORT.json from ibox-experiments -report)")
+	promPath := flag.String("promcheck", "", "validate a Prometheus text-exposition scrape (a /metrics capture; \"-\" reads stdin)")
 	flag.Parse()
-	if (*tracePath == "") == (*reportPath == "") {
-		log.Fatal("exactly one of -trace or -report is required")
+	set := 0
+	for _, f := range []string{*tracePath, *reportPath, *promPath} {
+		if f != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		log.Fatal("exactly one of -trace, -report or -promcheck is required")
+	}
+	if *promPath != "" {
+		var in io.Reader = os.Stdin
+		if *promPath != "-" {
+			f, err := os.Open(*promPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		families, samples, err := obs.ValidateExposition(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("valid Prometheus exposition: %d families, %d samples\n", families, samples)
+		return
 	}
 	if *reportPath != "" {
 		rep, err := obs.LoadReport(*reportPath)

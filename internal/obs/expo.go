@@ -1,0 +1,488 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4), hand-rolled so the
+// serving tier can be scraped without adding a dependency. Mapping from
+// the registry's model:
+//
+//   - counters export as `<name>_total` (type counter);
+//   - gauges export under their name (type gauge);
+//   - histograms export their native power-of-two buckets as cumulative
+//     `<name>_bucket{le="..."}` series plus `<name>_sum` and
+//     `<name>_count` (type histogram). Bucket bounds are the exclusive
+//     upper edges of the internal layout (1024, 2048, …); the text
+//     format's `le` is nominally inclusive, so an observation exactly on
+//     a power-of-two boundary reads one bucket high — a sub-bucket
+//     artifact already below the histogram's resolution.
+//   - labeled families export each child with its label set; histogram
+//     children put `le` after the family labels.
+//
+// Metric names are sanitized to the Prometheus grammar (every character
+// outside [a-zA-Z0-9_:] becomes '_', so "serve.request_ns" reads
+// serve_request_ns). Output is sorted by exposition name, then label
+// set, so scrapes are diffable and the tests can assert on ordering.
+
+// sanitizeMetricName maps a registry metric name to the Prometheus
+// grammar.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// counterExpoName appends _total unless the name already carries it.
+func counterExpoName(name string) string {
+	n := sanitizeMetricName(name)
+	if strings.HasSuffix(n, "_total") {
+		return n
+	}
+	return n + "_total"
+}
+
+// expoFamily is one metric family ready to render: a TYPE line plus
+// pre-formatted sample lines.
+type expoFamily struct {
+	name    string
+	typ     string
+	samples []string
+}
+
+// histSamples renders one histogram child (labels may be "") as
+// cumulative buckets + sum + count.
+func histSamples(name, labels string, h *Histogram) []string {
+	var counts [histBuckets]int64
+	h.BucketCounts(&counts)
+	out := make([]string, 0, histBuckets+2)
+	cum := int64(0)
+	for b := 0; b < histBuckets; b++ {
+		cum += counts[b]
+		le := strconv.FormatInt(histBound(b), 10)
+		if b == histBuckets-1 {
+			le = "+Inf"
+		}
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		out = append(out, fmt.Sprintf("%s_bucket{%s%sle=%q} %d", name, labels, sep, le, cum))
+	}
+	lb := ""
+	if labels != "" {
+		lb = "{" + labels + "}"
+	}
+	out = append(out,
+		fmt.Sprintf("%s_sum%s %d", name, lb, h.Sum()),
+		fmt.Sprintf("%s_count%s %d", name, lb, h.Count()))
+	return out
+}
+
+// WritePrometheus writes the registry's full metric state in the
+// Prometheus text exposition format. Writes nothing on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	counterVecs := make(map[string]*CounterVec, len(r.counterVecs))
+	for k, v := range r.counterVecs {
+		counterVecs[k] = v
+	}
+	gaugeVecs := make(map[string]*GaugeVec, len(r.gaugeVecs))
+	for k, v := range r.gaugeVecs {
+		gaugeVecs[k] = v
+	}
+	histVecs := make(map[string]*HistogramVec, len(r.histVecs))
+	for k, v := range r.histVecs {
+		histVecs[k] = v
+	}
+	r.mu.Unlock()
+
+	var fams []expoFamily
+	for name, c := range counters {
+		n := counterExpoName(name)
+		fams = append(fams, expoFamily{name: n, typ: "counter",
+			samples: []string{fmt.Sprintf("%s %d", n, c.Value())}})
+	}
+	for name, g := range gauges {
+		n := sanitizeMetricName(name)
+		fams = append(fams, expoFamily{name: n, typ: "gauge",
+			samples: []string{fmt.Sprintf("%s %s", n, formatFloat(g.Value()))}})
+	}
+	for name, h := range hists {
+		n := sanitizeMetricName(name)
+		fams = append(fams, expoFamily{name: n, typ: "histogram",
+			samples: histSamples(n, "", h)})
+	}
+	for name, cv := range counterVecs {
+		children := cv.v.children()
+		if len(children) == 0 {
+			continue
+		}
+		n := counterExpoName(name)
+		fam := expoFamily{name: n, typ: "counter"}
+		for _, c := range children {
+			fam.samples = append(fam.samples,
+				fmt.Sprintf("%s{%s} %d", n, labelString(cv.v.keys, c.vals), c.h.Value()))
+		}
+		fams = append(fams, fam)
+	}
+	for name, gv := range gaugeVecs {
+		children := gv.v.children()
+		if len(children) == 0 {
+			continue
+		}
+		n := sanitizeMetricName(name)
+		fam := expoFamily{name: n, typ: "gauge"}
+		for _, c := range children {
+			fam.samples = append(fam.samples,
+				fmt.Sprintf("%s{%s} %s", n, labelString(gv.v.keys, c.vals), formatFloat(c.h.Value())))
+		}
+		fams = append(fams, fam)
+	}
+	for name, hv := range histVecs {
+		children := hv.v.children()
+		if len(children) == 0 {
+			continue
+		}
+		n := sanitizeMetricName(name)
+		fam := expoFamily{name: n, typ: "histogram"}
+		for _, c := range children {
+			fam.samples = append(fam.samples,
+				histSamples(n, labelString(hv.v.keys, c.vals), c.h)...)
+		}
+		fams = append(fams, fam)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			bw.WriteString(s)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// formatFloat renders a gauge value the way Prometheus expects
+// (shortest round-trip representation; ±Inf and NaN spelled out).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PrometheusHandler serves the installed registry's metrics in the text
+// exposition format, reading obs.Get() at request time so it follows
+// whichever registry is active. With observability disabled the scrape
+// succeeds and is empty.
+func PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Get().WritePrometheus(w)
+	})
+}
+
+// ValidateExposition parses a Prometheus text exposition and returns
+// how many families and sample lines it holds, or an error naming the
+// first malformed line. It checks the subset of the format this package
+// emits — and that any compliant scraper depends on:
+//
+//   - every sample's family has a preceding # TYPE line with a known
+//     type, and names match the metric grammar;
+//   - label sets are well-formed (quoted, escaped) and sample values
+//     parse as floats;
+//   - histogram families carry le-labeled _bucket series with
+//     non-decreasing cumulative counts per label set, ending at +Inf,
+//     and _count equals the +Inf bucket.
+//
+// The CI smoke step and the endpoint tests run every live scrape
+// through it.
+func ValidateExposition(r io.Reader) (families, samples int, err error) {
+	type histState struct {
+		lastCum   map[string]float64 // labels-sans-le → last cumulative count
+		infCount  map[string]float64
+		countSeen map[string]float64
+	}
+	types := map[string]string{}
+	histStates := map[string]*histState{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return 0, 0, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return 0, 0, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, 0, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return 0, 0, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = typ
+				families++
+			}
+			continue // HELP and other comments are free-form
+		}
+		name, labels, value, perr := parseSampleLine(line)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		samples++
+		fam, lbls := name, labels
+		base, suffix := splitHistSuffix(name)
+		if t, ok := types[base]; ok && t == "histogram" && suffix != "" {
+			fam = base
+			st := histStates[fam]
+			if st == nil {
+				st = &histState{lastCum: map[string]float64{}, infCount: map[string]float64{}, countSeen: map[string]float64{}}
+				histStates[fam] = st
+			}
+			switch suffix {
+			case "_bucket":
+				le, rest, ok := extractLe(lbls)
+				if !ok {
+					return 0, 0, fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+				}
+				if prev, seen := st.lastCum[rest]; seen && value < prev {
+					return 0, 0, fmt.Errorf("line %d: bucket counts decreased for %s{%s}", lineNo, fam, rest)
+				}
+				st.lastCum[rest] = value
+				if le == "+Inf" {
+					st.infCount[rest] = value
+				}
+			case "_count":
+				st.countSeen[lbls] = value
+			case "_sum":
+				// sums are unconstrained
+			}
+			continue
+		}
+		if _, ok := types[fam]; !ok {
+			return 0, 0, fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, fam)
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return 0, 0, serr
+	}
+	for fam, st := range histStates {
+		for lbls, cnt := range st.countSeen {
+			if inf, ok := st.infCount[lbls]; !ok {
+				return 0, 0, fmt.Errorf("histogram %s{%s} has no +Inf bucket", fam, lbls)
+			} else if inf != cnt {
+				return 0, 0, fmt.Errorf("histogram %s{%s}: _count %g != +Inf bucket %g", fam, lbls, cnt, inf)
+			}
+		}
+	}
+	return families, samples, nil
+}
+
+// splitHistSuffix separates a histogram series name into its family and
+// the _bucket/_sum/_count suffix ("" when none).
+func splitHistSuffix(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			return strings.TrimSuffix(name, s), s
+		}
+	}
+	return name, ""
+}
+
+// extractLe pulls the le="..." pair out of a label body, returning the
+// remaining labels (used to group one histogram child's buckets).
+func extractLe(labels string) (le, rest string, ok bool) {
+	pairs := splitLabelPairs(labels)
+	var kept []string
+	for _, p := range pairs {
+		if strings.HasPrefix(p, "le=") {
+			le = strings.Trim(strings.TrimPrefix(p, "le="), `"`)
+			ok = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return le, strings.Join(kept, ","), ok
+}
+
+// splitLabelPairs splits a label body on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var out []string
+	start, inq, esc := 0, false, false
+	for i := 0; i < len(labels); i++ {
+		c := labels[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\':
+			esc = true
+		case c == '"':
+			inq = !inq
+		case c == ',' && !inq:
+			out = append(out, labels[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, labels[start:])
+}
+
+// validMetricName checks the Prometheus metric-name grammar.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName checks the Prometheus label-name grammar.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseSampleLine parses `name[{labels}] value [timestamp]`.
+func parseSampleLine(line string) (name, labels string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexAny(rest, " \t")
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		name = rest[:brace]
+		close := findClosingBrace(rest, brace)
+		if close < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[brace+1 : close]
+		rest = strings.TrimSpace(rest[close+1:])
+		if err := checkLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+	} else {
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("sample line %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("malformed sample line %q", line)
+	}
+	v, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q: %v", fields[0], perr)
+	}
+	return name, labels, v, nil
+}
+
+// findClosingBrace locates the '}' ending the label set opened at open,
+// honoring quoted values.
+func findClosingBrace(s string, open int) int {
+	inq, esc := false, false
+	for i := open + 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\':
+			esc = true
+		case c == '"':
+			inq = !inq
+		case c == '}' && !inq:
+			return i
+		}
+	}
+	return -1
+}
+
+// checkLabels validates each k="v" pair of a label body.
+func checkLabels(labels string) error {
+	for _, p := range splitLabelPairs(labels) {
+		eq := strings.IndexByte(p, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q has no '='", p)
+		}
+		k, v := p[:eq], p[eq+1:]
+		if !validLabelName(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value %s is not quoted", v)
+		}
+	}
+	return nil
+}

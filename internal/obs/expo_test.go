@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"serve.request_ns": "serve_request_ns",
+		"par.pool-depth":   "par_pool_depth",
+		"9lives":           "_9lives",
+		"ok_name":          "ok_name",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := counterExpoName("serve.requests"); got != "serve_requests_total" {
+		t.Fatalf("counterExpoName = %q", got)
+	}
+	if got := counterExpoName("already_total"); got != "already_total" {
+		t.Fatalf("counterExpoName(already_total) = %q", got)
+	}
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(3)
+	r.Gauge("serve.inflight").Set(2)
+	h := r.Histogram("serve.simulate_ns")
+	h.Observe(1500) // bucket with bound 2048
+	h.Observe(5000)
+	r.CounterVec("serve.http_requests", "route", "status").With("simulate", "2xx").Add(3)
+	hv := r.HistogramVec("serve.request_ns", "route", "model")
+	hv.With("simulate", "m.json").Observe(2500)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	fams, samples, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own exposition failed validation: %v\n%s", err, out)
+	}
+	if fams < 5 || samples == 0 {
+		t.Fatalf("families=%d samples=%d, want >=5 families", fams, samples)
+	}
+	for _, want := range []string{
+		"# TYPE serve_requests_total counter",
+		"serve_requests_total 3",
+		"# TYPE serve_inflight gauge",
+		"serve_inflight 2",
+		"# TYPE serve_simulate_ns histogram",
+		`serve_simulate_ns_bucket{le="2048"} 1`,
+		`serve_simulate_ns_bucket{le="+Inf"} 2`,
+		"serve_simulate_ns_sum 6500",
+		"serve_simulate_ns_count 2",
+		`serve_http_requests_total{route="simulate",status="2xx"} 3`,
+		`serve_request_ns_bucket{route="simulate",model="m.json",le="+Inf"} 1`,
+		`serve_request_ns_count{route="simulate",model="m.json"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Families are sorted by exposition name, so scrapes are diffable.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var typeNames []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "# TYPE ") {
+			typeNames = append(typeNames, strings.Fields(l)[2])
+		}
+	}
+	for i := 1; i < len(typeNames); i++ {
+		if typeNames[i] < typeNames[i-1] {
+			t.Fatalf("TYPE lines out of order: %q before %q", typeNames[i-1], typeNames[i])
+		}
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	Enable()
+	defer Disable()
+	Get().Counter("x").Add(1)
+	rec := httptest.NewRecorder()
+	PrometheusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1\n") {
+		t.Fatalf("scrape missing counter:\n%s", rec.Body.String())
+	}
+
+	// Disabled registry: scrape succeeds and is empty.
+	Disable()
+	rec = httptest.NewRecorder()
+	PrometheusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("disabled scrape: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":           "orphan 1\n",
+		"bad name":          "# TYPE 1bad counter\n",
+		"bad type":          "# TYPE x flute\n",
+		"dup TYPE":          "# TYPE x counter\n# TYPE x counter\n",
+		"bad value":         "# TYPE x counter\nx pear\n",
+		"unquoted label":    "# TYPE x counter\nx{k=v} 1\n",
+		"bad label name":    "# TYPE x counter\nx{1k=\"v\"} 1\n",
+		"unterminated":      "# TYPE x counter\nx{k=\"v\" 1\n",
+		"decreasing hist":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+		"count mismatch":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\n",
+		"bucket missing le": "# TYPE h histogram\nh_bucket{k=\"v\"} 3\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated but should not:\n%s", name, in)
+		}
+	}
+	// And the happy path with a timestamp and HELP comment.
+	ok := "# HELP x a counter\n# TYPE x counter\nx{k=\"v\"} 1 1700000000\n"
+	if _, _, err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecBasics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("http_requests", "route", "status")
+	cv.With("simulate", "2xx").Add(3)
+	cv.With("simulate", "4xx").Add(1)
+	cv.With("models", "2xx").Add(2)
+	cv.With("simulate", "2xx").Add(4)
+
+	if got := cv.With("simulate", "2xx").Value(); got != 7 {
+		t.Fatalf(`With("simulate","2xx") = %d, want 7`, got)
+	}
+	if cv.With("simulate", "2xx") != cv.With("simulate", "2xx") {
+		t.Fatal("same label values resolved to different children")
+	}
+	if cv.With("simulate", "2xx") == cv.With("simulate", "4xx") {
+		t.Fatal("different label values resolved to the same child")
+	}
+	// Same name returns the same family, whatever keys are passed later.
+	if r.CounterVec("http_requests", "other") != cv {
+		t.Fatal("second CounterVec call minted a new family")
+	}
+
+	snap := r.Snapshot()
+	if got := snap.Counters[`http_requests{route="simulate",status="2xx"}`]; got != 7 {
+		t.Fatalf("flattened snapshot key = %d, want 7 (snapshot: %v)", got, snap.Counters)
+	}
+	if got := snap.Counters[`http_requests{route="models",status="2xx"}`]; got != 2 {
+		t.Fatalf("flattened snapshot key = %d, want 2", got)
+	}
+}
+
+func TestGaugeAndHistogramVecs(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("depth", "queue")
+	gv.With("fast").Set(4)
+	hv := r.HistogramVec("lat_ns", "route")
+	hv.With("simulate").Observe(1000)
+	hv.With("simulate").Observe(3000)
+
+	snap := r.Snapshot()
+	if got := snap.Gauges[`depth{queue="fast"}`]; got != 4 {
+		t.Fatalf("gauge child = %v, want 4", got)
+	}
+	h := snap.Histograms[`lat_ns{route="simulate"}`]
+	if h.Count != 2 {
+		t.Fatalf("histogram child count = %d, want 2", h.Count)
+	}
+	if h.Sum != 4000 {
+		t.Fatalf("histogram child sum = %d, want 4000", h.Sum)
+	}
+}
+
+func TestVecCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("per_model", "model")
+	cv.SetMaxSeries(2)
+	cv.With("a").Add(1)
+	cv.With("b").Add(1)
+	// Beyond the cap: every distinct tuple shares the overflow child.
+	of1 := cv.With("c")
+	of1.Add(1)
+	of2 := cv.With("d")
+	of2.Add(1)
+	if of1 != of2 {
+		t.Fatal("overflow tuples resolved to different children")
+	}
+	if got := of1.Value(); got != 2 {
+		t.Fatalf("overflow child = %d, want 2", got)
+	}
+	if got := r.Counter("obs.series_dropped").Value(); got != 2 {
+		t.Fatalf("series_dropped = %d, want 2", got)
+	}
+	snap := r.Snapshot()
+	key := `per_model{model="` + OverflowLabel + `"}`
+	if got := snap.Counters[key]; got != 2 {
+		t.Fatalf("snapshot %s = %d, want 2 (snapshot: %v)", key, got, snap.Counters)
+	}
+	// Established children stay reachable under the cap.
+	if got := cv.With("a").Value(); got != 1 {
+		t.Fatalf(`With("a") after overflow = %d, want 1`, got)
+	}
+}
+
+func TestVecNilSafe(t *testing.T) {
+	var r *Registry
+	cv := r.CounterVec("x", "k")
+	gv := r.GaugeVec("x", "k")
+	hv := r.HistogramVec("x", "k")
+	if cv != nil || gv != nil || hv != nil {
+		t.Fatal("nil registry returned non-nil families")
+	}
+	// All no-ops; must not panic.
+	cv.With("v").Add(1)
+	gv.With("v").Set(1)
+	hv.With("v").Observe(1)
+	cv.SetMaxSeries(4)
+}
+
+func TestVecDisabledZeroAllocs(t *testing.T) {
+	Disable()
+	var cv *CounterVec
+	var hv *HistogramVec
+	if n := testing.AllocsPerRun(100, func() {
+		cv.With("simulate", "2xx").Add(1)
+		hv.With("simulate", "m.json", "2xx", "true").Observe(5)
+	}); n != 0 {
+		t.Fatalf("disabled labeled path allocates %.1f bytes/op, want 0", n)
+	}
+}
+
+func TestVecHitPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("c", "route", "status")
+	hv := r.HistogramVec("h", "route", "model", "status", "batched")
+	// Materialize the children; only the first observation may allocate.
+	cv.With("simulate", "2xx").Add(1)
+	hv.With("simulate", "m.json", "2xx", "true").Observe(1)
+	if n := testing.AllocsPerRun(100, func() {
+		cv.With("simulate", "2xx").Add(1)
+		hv.With("simulate", "m.json", "2xx", "true").Observe(12345)
+	}); n != 0 {
+		t.Fatalf("labeled hit path allocates %.1f bytes/op, want 0", n)
+	}
+}
+
+func TestVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("c", "shard")
+	shards := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				cv.With(shards[(g+i)%len(shards)]).Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, s := range shards {
+		total += cv.With(s).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("concurrent increments total %d, want 8000", total)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := labelString([]string{"k"}, []string{"a\"b\\c\nd"})
+	want := `k="a\"b\\c\nd"`
+	if got != want {
+		t.Fatalf("labelString = %s, want %s", got, want)
+	}
+	if e := escapeLabel("plain"); e != "plain" {
+		t.Fatalf("escapeLabel(plain) = %q", e)
+	}
+	// A hostile value must still round-trip through the exposition parser.
+	r := NewRegistry()
+	r.CounterVec("c", "model").With("evil\"model\n").Add(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("escaped label failed validation: %v\n%s", err, b.String())
+	}
+}

@@ -74,14 +74,19 @@ func Enabled() bool { return global.Load() != nil }
 type Registry struct {
 	start time.Time
 
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 
 	spanMu    sync.Mutex
 	nextSpan  int64
 	spans     []spanRec
+	spanLimit int     // max retained finished spans; 0 = unbounded
+	spanHead  int     // ring overwrite position once the limit is reached
 	active    []*Span // open spans, in start order (see currentSpan)
 	freeLanes []int
 	lanes     int
@@ -94,10 +99,13 @@ type Registry struct {
 // want Enable, which also installs it globally.
 func NewRegistry() *Registry {
 	return &Registry{
-		start:    time.Now(),
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		start:       time.Now(),
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		hists:       map[string]*Histogram{},
+		counterVecs: map[string]*CounterVec{},
+		gaugeVecs:   map[string]*GaugeVec{},
+		histVecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -302,6 +310,26 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// BucketCounts copies the current per-bucket observation counts into
+// dst (allocation-free; bucket b's bound is HistogramBound(b)). No-op
+// on a nil handle.
+func (h *Histogram) BucketCounts(dst *[histBuckets]int64) {
+	if h == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = h.buckets[i].Load()
+	}
+}
+
+// HistogramBuckets is the number of buckets every Histogram has.
+const HistogramBuckets = histBuckets
+
+// HistogramBound returns bucket b's exclusive upper bound in the
+// histogram's native unit (the last bucket is unbounded and reports the
+// largest finite bound).
+func HistogramBound(b int) int64 { return histBound(b) }
+
 // Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) by linear
 // interpolation within the containing bucket. 0 on a nil or empty
 // handle.
@@ -310,10 +338,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 		return 0
 	}
 	var counts [histBuckets]int64
+	h.BucketCounts(&counts)
+	return quantileFromCounts(&counts, q)
+}
+
+// quantileFromCounts interpolates the q-quantile from a bucket-count
+// array — shared by live histograms and the rolling-window deltas.
+func quantileFromCounts(counts *[histBuckets]int64, q float64) float64 {
 	total := int64(0)
-	for i := range counts {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
+	for _, c := range counts {
+		total += c
 	}
 	if total == 0 {
 		return 0
@@ -348,11 +382,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return float64(histBound(histBuckets - 1))
 }
 
-// HistogramSummary is the JSON-facing digest of a histogram: count, mean
-// and interpolated quantiles, in the histogram's native unit
+// HistogramSummary is the JSON-facing digest of a histogram: count,
+// sum, mean and interpolated quantiles, in the histogram's native unit
 // (nanoseconds by convention).
 type HistogramSummary struct {
 	Count int64   `json:"count"`
+	Sum   int64   `json:"sum_ns,omitempty"`
 	Mean  float64 `json:"mean_ns"`
 	P50   float64 `json:"p50_ns"`
 	P90   float64 `json:"p90_ns"`
@@ -368,6 +403,7 @@ func (h *Histogram) Summary() HistogramSummary {
 	n := h.Count()
 	return HistogramSummary{
 		Count: n,
+		Sum:   h.Sum(),
 		Mean:  float64(h.Sum()) / float64(n),
 		P50:   h.Quantile(0.50),
 		P90:   h.Quantile(0.90),
@@ -384,8 +420,10 @@ type Snapshot struct {
 	Histograms map[string]HistogramSummary `json:"histograms"`
 }
 
-// Snapshot copies all current metric values. Empty snapshot on a nil
-// registry.
+// Snapshot copies all current metric values. Labeled families flatten
+// into the same maps under `name{k1="v1",...}` keys (declared key
+// order), so every consumer — expvar, run report, regression gate —
+// sees one namespace. Empty snapshot on a nil registry.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]int64{},
@@ -405,6 +443,21 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Summary()
+	}
+	for name, cv := range r.counterVecs {
+		for _, c := range cv.v.children() {
+			s.Counters[name+"{"+labelString(cv.v.keys, c.vals)+"}"] = c.h.Value()
+		}
+	}
+	for name, gv := range r.gaugeVecs {
+		for _, c := range gv.v.children() {
+			s.Gauges[name+"{"+labelString(gv.v.keys, c.vals)+"}"] = c.h.Value()
+		}
+	}
+	for name, hv := range r.histVecs {
+		for _, c := range hv.v.children() {
+			s.Histograms[name+"{"+labelString(hv.v.keys, c.vals)+"}"] = c.h.Summary()
+		}
 	}
 	return s
 }

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Rolling-window statistics. Counters and histograms in this package
+// are cumulative since process start — the right shape for a scrape-
+// based collector, but useless for "what is the p99 *right now*". A
+// Roller turns them into windowed views: on every Tick (nominally once
+// per second) it snapshots each tracked source into a ring; rates and
+// quantiles over the last N ticks are then computed from the delta
+// between the newest snapshot and the one N ticks back. The ring is
+// fixed-size, so a Roller's memory is bounded regardless of uptime.
+//
+// The Roller does not own a goroutine: callers drive Tick themselves
+// (the serving tier runs a 1 s ticker; tests call Tick directly). All
+// methods are safe for concurrent use; reads see the state as of the
+// last Tick, never a half-taken snapshot.
+
+// histSnap is one tick's cumulative histogram state.
+type histSnap struct {
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+}
+
+// rolledHist is a tracked histogram plus its snapshot ring.
+type rolledHist struct {
+	name string
+	src  *Histogram
+	ring []histSnap
+}
+
+// rolledCounter is a tracked counter plus its snapshot ring.
+type rolledCounter struct {
+	name string
+	src  *Counter
+	ring []int64
+}
+
+// Roller computes rolling-window rates and quantiles over registered
+// histograms and counters. Construct with NewRoller.
+type Roller struct {
+	interval time.Duration
+	slots    int // ring capacity in snapshots (history+1)
+
+	mu    sync.Mutex
+	hists []*rolledHist
+	ctrs  []*rolledCounter
+	ticks int // total snapshots taken
+}
+
+// NewRoller returns a roller whose windows are measured in ticks of the
+// given interval, retaining history ticks of deltas (60 retains enough
+// for a 60 s window at a 1 s tick). interval <= 0 selects 1 s; history
+// <= 0 selects 60.
+func NewRoller(interval time.Duration, history int) *Roller {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if history <= 0 {
+		history = 60
+	}
+	return &Roller{interval: interval, slots: history + 1}
+}
+
+// Interval returns the roller's nominal tick spacing.
+func (ro *Roller) Interval() time.Duration { return ro.interval }
+
+// TrackHistogram registers a histogram under name. No-op when the
+// source handle is nil (disabled registry), so call sites need no
+// guards.
+func (ro *Roller) TrackHistogram(name string, h *Histogram) {
+	if ro == nil || h == nil {
+		return
+	}
+	ro.mu.Lock()
+	ro.hists = append(ro.hists, &rolledHist{name: name, src: h, ring: make([]histSnap, ro.slots)})
+	ro.mu.Unlock()
+}
+
+// TrackCounter registers a counter under name; nil sources are ignored.
+func (ro *Roller) TrackCounter(name string, c *Counter) {
+	if ro == nil || c == nil {
+		return
+	}
+	ro.mu.Lock()
+	ro.ctrs = append(ro.ctrs, &rolledCounter{name: name, src: c, ring: make([]int64, ro.slots)})
+	ro.mu.Unlock()
+}
+
+// Tick snapshots every tracked source. Call at the roller's interval.
+func (ro *Roller) Tick() {
+	if ro == nil {
+		return
+	}
+	ro.mu.Lock()
+	slot := ro.ticks % ro.slots
+	for _, rh := range ro.hists {
+		s := &rh.ring[slot]
+		rh.src.BucketCounts(&s.buckets)
+		s.count = rh.src.Count()
+		s.sum = rh.src.Sum()
+	}
+	for _, rc := range ro.ctrs {
+		rc.ring[slot] = rc.src.Value()
+	}
+	ro.ticks++
+	ro.mu.Unlock()
+}
+
+// windowTicks clamps a duration to whole ticks of available history.
+// Caller holds ro.mu. Returns 0 when fewer than two snapshots exist.
+func (ro *Roller) windowTicks(window time.Duration) int {
+	if ro.ticks < 2 {
+		return 0
+	}
+	w := int(window / ro.interval)
+	if w < 1 {
+		w = 1
+	}
+	if avail := ro.ticks - 1; w > avail {
+		w = avail
+	}
+	if w > ro.slots-1 {
+		w = ro.slots - 1
+	}
+	return w
+}
+
+// slotAt returns the ring slot of the snapshot taken k ticks before the
+// newest one. Caller holds ro.mu.
+func (ro *Roller) slotAt(k int) int {
+	return ((ro.ticks-1-k)%ro.slots + ro.slots) % ro.slots
+}
+
+// Rate returns events per second over (up to) the trailing window: the
+// increase of the named counter, or the observation count of the named
+// histogram. 0 when the name is unknown or fewer than two ticks have
+// happened.
+func (ro *Roller) Rate(name string, window time.Duration) float64 {
+	if ro == nil {
+		return 0
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	w := ro.windowTicks(window)
+	if w == 0 {
+		return 0
+	}
+	secs := float64(w) * ro.interval.Seconds()
+	newSlot, oldSlot := ro.slotAt(0), ro.slotAt(w)
+	for _, rc := range ro.ctrs {
+		if rc.name == name {
+			return float64(rc.ring[newSlot]-rc.ring[oldSlot]) / secs
+		}
+	}
+	for _, rh := range ro.hists {
+		if rh.name == name {
+			return float64(rh.ring[newSlot].count-rh.ring[oldSlot].count) / secs
+		}
+	}
+	return 0
+}
+
+// WindowCount returns how many observations (or counter increments)
+// landed in the trailing window.
+func (ro *Roller) WindowCount(name string, window time.Duration) int64 {
+	if ro == nil {
+		return 0
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	w := ro.windowTicks(window)
+	if w == 0 {
+		return 0
+	}
+	newSlot, oldSlot := ro.slotAt(0), ro.slotAt(w)
+	for _, rc := range ro.ctrs {
+		if rc.name == name {
+			return rc.ring[newSlot] - rc.ring[oldSlot]
+		}
+	}
+	for _, rh := range ro.hists {
+		if rh.name == name {
+			return rh.ring[newSlot].count - rh.ring[oldSlot].count
+		}
+	}
+	return 0
+}
+
+// Quantile returns the interpolated q-quantile of the named histogram's
+// observations within the trailing window, in the histogram's native
+// unit. 0 when the name is unknown, not a histogram, or the window is
+// empty.
+func (ro *Roller) Quantile(name string, window time.Duration, q float64) float64 {
+	if ro == nil {
+		return 0
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	w := ro.windowTicks(window)
+	if w == 0 {
+		return 0
+	}
+	newSlot, oldSlot := ro.slotAt(0), ro.slotAt(w)
+	for _, rh := range ro.hists {
+		if rh.name != name {
+			continue
+		}
+		var delta [histBuckets]int64
+		for b := range delta {
+			delta[b] = rh.ring[newSlot].buckets[b] - rh.ring[oldSlot].buckets[b]
+		}
+		return quantileFromCounts(&delta, q)
+	}
+	return 0
+}
+
+// WindowStat is one (window, rate, p50, p99) row of a rolling summary.
+type WindowStat struct {
+	Window time.Duration
+	Rate   float64 // events/s
+	Count  int64
+	P50    float64 // native unit (ns for latency histograms)
+	P99    float64
+}
+
+// Stats summarizes the named histogram over the standard 1 s / 10 s /
+// 60 s windows — the row set /statusz renders and the load signal a
+// router tier reads per worker.
+func (ro *Roller) Stats(name string) []WindowStat {
+	out := make([]WindowStat, 0, 3)
+	for _, w := range []time.Duration{time.Second, 10 * time.Second, 60 * time.Second} {
+		out = append(out, WindowStat{
+			Window: w,
+			Rate:   ro.Rate(name, w),
+			Count:  ro.WindowCount(name, w),
+			P50:    ro.Quantile(name, w, 0.50),
+			P99:    ro.Quantile(name, w, 0.99),
+		})
+	}
+	return out
+}
+
+// WindowLabel renders a window duration the way /statusz and the
+// rolling gauges name it ("1s", "10s", "60s").
+func WindowLabel(w time.Duration) string {
+	return fmt.Sprintf("%ds", int(w.Seconds()))
+}

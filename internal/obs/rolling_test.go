@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRollerRatesAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	c := r.Counter("shed")
+	ro := NewRoller(time.Second, 60)
+	ro.TrackHistogram("lat", h)
+	ro.TrackCounter("shed", c)
+
+	ro.Tick() // baseline snapshot
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // < 1024 → first bucket
+	}
+	c.Add(5)
+	ro.Tick()
+	if got := ro.Rate("lat", time.Second); got != 10 {
+		t.Fatalf("hist rate = %v, want 10/s", got)
+	}
+	if got := ro.Rate("shed", time.Second); got != 5 {
+		t.Fatalf("counter rate = %v, want 5/s", got)
+	}
+	if got := ro.WindowCount("lat", time.Second); got != 10 {
+		t.Fatalf("window count = %d, want 10", got)
+	}
+
+	// Second tick interval: 20 much slower observations. The 1 s window
+	// sees only the new ones; the 2 s window blends both.
+	for i := 0; i < 20; i++ {
+		h.Observe(1 << 20)
+	}
+	ro.Tick()
+	if got := ro.Rate("lat", time.Second); got != 20 {
+		t.Fatalf("1s rate after second tick = %v, want 20/s", got)
+	}
+	if got := ro.WindowCount("lat", 2*time.Second); got != 30 {
+		t.Fatalf("2s window count = %d, want 30", got)
+	}
+	// Quantiles come from bucket deltas: the 1 s window holds only the
+	// slow observations, so even p10 must sit in the slow bucket.
+	if q := ro.Quantile("lat", time.Second, 0.10); q < 1000 {
+		t.Fatalf("1s p10 = %v, want within the slow bucket", q)
+	}
+	if q := ro.Quantile("lat", 2*time.Second, 0.25); q > 2048 {
+		t.Fatalf("2s p25 = %v, want within the fast bucket (10 of 30 obs are fast)", q)
+	}
+}
+
+func TestRollerWindowClamping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	ro := NewRoller(time.Second, 5)
+	if got := ro.Rate("x", time.Minute); got != 0 {
+		t.Fatalf("rate before any tick = %v, want 0", got)
+	}
+	ro.TrackCounter("x", c)
+	ro.Tick()
+	if got := ro.Rate("x", time.Minute); got != 0 {
+		t.Fatalf("rate after one tick = %v, want 0 (no delta yet)", got)
+	}
+	c.Add(3)
+	ro.Tick()
+	// A 60 s window with only 1 tick of history clamps to that history.
+	if got := ro.Rate("x", time.Minute); got != 3 {
+		t.Fatalf("clamped rate = %v, want 3/s", got)
+	}
+	// Fill past the ring: the window can never exceed slots-1 ticks.
+	for i := 0; i < 10; i++ {
+		c.Add(1)
+		ro.Tick()
+	}
+	if got := ro.WindowCount("x", time.Minute); got != 5 {
+		t.Fatalf("ring-bounded window count = %d, want 5 (history=5)", got)
+	}
+	if got := ro.Rate("unknown", time.Second); got != 0 {
+		t.Fatalf("unknown name rate = %v, want 0", got)
+	}
+}
+
+func TestRollerNilAndDisabled(t *testing.T) {
+	var ro *Roller
+	ro.Tick() // no-op, no panic
+	if ro.Rate("x", time.Second) != 0 || ro.WindowCount("x", time.Second) != 0 || ro.Quantile("x", time.Second, 0.5) != 0 {
+		t.Fatal("nil roller returned non-zero stats")
+	}
+	live := NewRoller(0, 0) // defaults: 1 s, 60 ticks
+	if live.Interval() != time.Second {
+		t.Fatalf("default interval = %v", live.Interval())
+	}
+	live.TrackHistogram("h", nil) // nil source (disabled registry) ignored
+	live.TrackCounter("c", nil)
+	live.Tick()
+	if got := live.Rate("h", time.Second); got != 0 {
+		t.Fatalf("nil-source rate = %v", got)
+	}
+}
+
+func TestRollerStatsAndWindowLabel(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	ro := NewRoller(time.Second, 60)
+	ro.TrackHistogram("lat", h)
+	ro.Tick()
+	h.Observe(4000)
+	h.Observe(4000)
+	ro.Tick()
+	stats := ro.Stats("lat")
+	if len(stats) != 3 {
+		t.Fatalf("Stats rows = %d, want 3", len(stats))
+	}
+	if stats[0].Window != time.Second || stats[0].Count != 2 || stats[0].Rate != 2 {
+		t.Fatalf("1s row = %+v", stats[0])
+	}
+	if stats[0].P99 <= 0 {
+		t.Fatalf("1s p99 = %v, want > 0", stats[0].P99)
+	}
+	for i, want := range []string{"1s", "10s", "60s"} {
+		if got := WindowLabel(stats[i].Window); got != want {
+			t.Fatalf("WindowLabel(%v) = %q, want %q", stats[i].Window, got, want)
+		}
+	}
+}

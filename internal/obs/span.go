@@ -132,12 +132,21 @@ func (s *Span) End() {
 	s.ended = true
 	end := time.Now()
 	r := s.r
-	r.spanMu.Lock()
-	r.spans = append(r.spans, spanRec{
+	rec := spanRec{
 		ID: s.id, Parent: s.parent, Name: s.name, Lane: s.lane, Depth: s.depth,
 		Start: s.start.Sub(r.start), End: end.Sub(r.start),
 		Items: s.items, Args: s.args,
-	})
+	}
+	r.spanMu.Lock()
+	if r.spanLimit > 0 && len(r.spans) >= r.spanLimit {
+		// Bounded retention (long-running servers): overwrite the ring
+		// position of the oldest record. finishedSpans sorts by start
+		// time, so readers are order-insensitive.
+		r.spans[r.spanHead] = rec
+		r.spanHead = (r.spanHead + 1) % r.spanLimit
+	} else {
+		r.spans = append(r.spans, rec)
+	}
 	if s.depth == 0 {
 		r.freeLanes = append(r.freeLanes, s.lane)
 	}
@@ -147,6 +156,26 @@ func (s *Span) End() {
 			break
 		}
 	}
+	r.spanMu.Unlock()
+}
+
+// SetSpanLimit bounds how many finished spans the registry retains;
+// once the limit is reached, each new record overwrites the oldest.
+// Offline experiment runs keep the default (0 = unbounded) so reports
+// see every stage; a long-running server with per-request trace
+// sampling sets a limit so sampled request spans cannot grow memory
+// without bound. No-op on a nil registry.
+func (r *Registry) SetSpanLimit(n int) {
+	if r == nil || n < 0 {
+		return
+	}
+	r.spanMu.Lock()
+	if len(r.spans) > n && n > 0 {
+		// Keep the newest n records so the ring invariant holds.
+		r.spans = append([]spanRec(nil), r.spans[len(r.spans)-n:]...)
+	}
+	r.spanLimit = n
+	r.spanHead = 0
 	r.spanMu.Unlock()
 }
 

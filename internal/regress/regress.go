@@ -76,6 +76,12 @@ func DefaultThresholds() Thresholds {
 			// gate (the deterministic work counts gate via par.items and
 			// par.map_calls instead).
 			"par.pool",
+			// Rolling-window serving gauges (serve.win.*): rates and
+			// windowed quantiles measure the recent past of one process on
+			// one machine — machine- and timing-dependent by construction,
+			// like pool_utilization. The cumulative serve.* counters and
+			// histograms they are derived from gate normally.
+			"serve.win",
 		},
 	}
 }

@@ -39,9 +39,10 @@ type group struct {
 }
 
 type batchJob struct {
-	input *trace.Trace
-	seed  int64
-	res   chan batchResult
+	input   *trace.Trace
+	seed    int64
+	sampled bool // a trace-sampled request is in this job
+	res     chan batchResult
 }
 
 type batchResult struct {
@@ -76,7 +77,7 @@ func newBatcher(pool *par.Pool, window time.Duration, max int) *batcher {
 // ctx expires first, submit returns early but the simulation still runs
 // with its batch — results for abandoned requests are discarded.
 func (b *batcher) submit(ctx context.Context, m *iboxml.Model, input *trace.Trace, seed int64) (*trace.Trace, int, error) {
-	j := batchJob{input: input, seed: seed, res: make(chan batchResult, 1)}
+	j := batchJob{input: input, seed: seed, sampled: metaFrom(ctx).sampled(), res: make(chan batchResult, 1)}
 	b.mu.Lock()
 	g := b.pending[m]
 	if g == nil {
@@ -115,7 +116,20 @@ func (b *batcher) flush(m *iboxml.Model, g *group) {
 
 	b.sizeHist.Observe(int64(len(jobs)))
 	b.batches.Add(1)
+	sampled := false
+	for _, j := range jobs {
+		sampled = sampled || j.sampled
+	}
 	go func() {
+		// A batch serves several requests at once, so its span is a
+		// top-level lane of its own rather than a child of any one
+		// request; it is recorded when any member request is sampled.
+		var sp *obs.Span
+		if sampled {
+			sp = obs.StartSpan("serve.batch")
+			sp.SetItems(len(jobs))
+		}
+		defer sp.End()
 		err := b.pool.Do(context.Background(), func() error {
 			trs := make([]*trace.Trace, len(jobs))
 			seeds := make([]int64, len(jobs))

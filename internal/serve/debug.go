@@ -31,6 +31,7 @@ func DebugMux() *http.ServeMux {
 		}))
 	})
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.PrometheusHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

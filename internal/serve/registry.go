@@ -110,6 +110,7 @@ type Registry struct {
 
 	hits, misses, evictions, loadErrors *obs.Counter
 	loaded                              *obs.Gauge
+	loadHist                            *obs.Histogram
 }
 
 // NewRegistry returns a registry over dir holding at most max models
@@ -131,6 +132,7 @@ func NewRegistry(dir string, max int) *Registry {
 		r.evictions = reg.Counter("serve.model_evictions")
 		r.loadErrors = reg.Counter("serve.model_load_errors")
 		r.loaded = reg.Gauge("serve.models_loaded")
+		r.loadHist = reg.Histogram("serve.model_load_ns")
 	}
 	return r
 }
@@ -203,7 +205,14 @@ func (r *Registry) Get(id string) (*Model, error) {
 		// Get sees a signature mismatch and retries rather than trusting an
 		// error recorded against content that no longer exists.
 		sig := statSig(path)
+		var t0 time.Time
+		if r.loadHist != nil {
+			t0 = time.Now()
+		}
 		m, err := loadModel(path, id)
+		if r.loadHist != nil {
+			r.loadHist.ObserveSince(t0)
+		}
 		r.mu.Lock()
 		e.model, e.err = m, err
 		if err != nil {
@@ -261,6 +270,14 @@ func (r *Registry) evictNeg() {
 		delete(r.entries, back.Value.(string))
 		r.evictions.Add(1)
 	}
+}
+
+// Loaded reports how many models are currently warm — the /statusz and
+// LoadStats view of cache pressure.
+func (r *Registry) Loaded() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
 }
 
 // Warm preloads the given ids (e.g. from a -warm flag at startup),

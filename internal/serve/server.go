@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -53,6 +55,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// Debug mounts /debug/vars and /debug/pprof on the server mux.
 	Debug bool
+	// TraceSample records an obs span lane (request → queue → load →
+	// simulate) for roughly this fraction of requests, exportable as
+	// Chrome trace JSON. 0 disables sampling; sampling is deterministic
+	// (every round(1/TraceSample)-th request), not random.
+	TraceSample float64
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +143,7 @@ type Server struct {
 	sem      chan struct{}
 	waiting  atomic.Int64
 	draining atomic.Bool
+	started  time.Time
 
 	queueGauge    *obs.Gauge
 	inflightGauge *obs.Gauge
@@ -144,6 +152,26 @@ type Server struct {
 	errors        *obs.Counter
 	simulateHist  *obs.Histogram
 	modelsHist    *obs.Histogram
+
+	// Labeled families and flat aggregates recorded by the instrument
+	// middleware (access.go); nil when observability is disabled.
+	httpRequests   *obs.CounterVec   // {route, status class}
+	requestLatency *obs.HistogramVec // {route, model, status class, batched}
+	shedByReason   *obs.CounterVec   // {reason}
+	httpLatency    *obs.Histogram    // all instrumented routes
+	queueWait      *obs.Histogram    // time waiting for an execution slot
+
+	// Request IDs and deterministic trace sampling (access.go).
+	idPrefix    string
+	reqSeq      atomic.Uint64
+	sampleEvery uint64
+
+	// Rolling-window collector (statusz.go).
+	roller   *obs.Roller
+	win      winGauges
+	rollStop chan struct{}
+	rollDone chan struct{}
+	rollOnce sync.Once
 }
 
 // NewServer builds a server over cfg.ModelDir. The directory must exist.
@@ -165,6 +193,15 @@ func NewServer(cfg Config) (*Server, error) {
 		batch:    newBatcher(pool, cfg.BatchWindow, cfg.BatchMax),
 		mux:      http.NewServeMux(),
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		idPrefix: newIDPrefix(),
+		started:  time.Now(),
+	}
+	if cfg.TraceSample > 0 {
+		every := int(math.Round(1 / math.Min(cfg.TraceSample, 1)))
+		if every < 1 {
+			every = 1
+		}
+		s.sampleEvery = uint64(every)
 	}
 	if r := obs.Get(); r != nil {
 		s.queueGauge = r.Gauge("serve.queue_depth")
@@ -174,9 +211,17 @@ func NewServer(cfg Config) (*Server, error) {
 		s.errors = r.Counter("serve.errors")
 		s.simulateHist = r.Histogram("serve.simulate_ns")
 		s.modelsHist = r.Histogram("serve.models_ns")
+		s.httpRequests = r.CounterVec("serve.http_requests", "route", "status")
+		s.requestLatency = r.HistogramVec("serve.request_ns", "route", "model", "status", "batched")
+		s.shedByReason = r.CounterVec("serve.shed_reason", "reason")
+		s.httpLatency = r.Histogram("serve.http_request_ns")
+		s.queueWait = r.Histogram("serve.queue_wait_ns")
 	}
-	s.mux.HandleFunc("POST /v1/simulate", s.admit(s.handleSimulate))
-	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.startRolling()
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.admit(s.handleSimulate)))
+	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
+	s.mux.Handle("GET /metrics", obs.PrometheusHandler())
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -218,6 +263,7 @@ func (s *Server) ListenAndServe(addr string) error {
 // pool stops. Safe to call once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopRolling()
 	err := s.http.Shutdown(ctx)
 	s.pool.Close()
 	return err
@@ -230,20 +276,36 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // running. Draining servers refuse new work outright.
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		m := metaFrom(r.Context())
 		if s.draining.Load() {
+			m.setShed("draining")
+			s.shedByReason.With("draining").Add(1)
 			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: draining"))
 			return
 		}
 		if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
 			s.waiting.Add(-1)
 			s.shed.Add(1)
+			m.setShed("queue_full")
+			s.shedByReason.With("queue_full").Add(1)
 			w.Header().Set("Retry-After", "1")
 			s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("serve: queue full (%d waiting)", s.cfg.MaxQueue))
 			return
 		}
 		s.queueGauge.Set(float64(s.waiting.Load()))
+		var qt0 time.Time
+		if m.isTimed() {
+			qt0 = time.Now()
+		}
+		qsp := m.childSpan("queue")
 		select {
 		case s.sem <- struct{}{}:
+			qsp.End()
+			if m.isTimed() {
+				wait := time.Since(qt0)
+				m.setQueueWait(wait)
+				s.queueWait.Observe(int64(wait))
+			}
 			s.waiting.Add(-1)
 			s.queueGauge.Set(float64(s.waiting.Load()))
 			s.inflightGauge.Add(1)
@@ -253,9 +315,12 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 			}()
 			h(w, r)
 		case <-r.Context().Done():
+			qsp.End()
 			s.waiting.Add(-1)
 			s.queueGauge.Set(float64(s.waiting.Load()))
 			s.shed.Add(1)
+			m.setShed("queue_deadline")
+			s.shedByReason.With("queue_deadline").Add(1)
 			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: deadline expired while queued"))
 		}
 	}
@@ -323,7 +388,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	m := metaFrom(r.Context())
+	lsp := m.childSpan("load")
 	model, err := s.registry.Get(req.Model)
+	lsp.End()
 	if err != nil {
 		code := http.StatusUnprocessableEntity // corrupt / unloadable model
 		switch {
@@ -336,8 +404,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The model label is set only from a successfully-loaded artifact, so
+	// a hostile stream of bogus ids cannot mint label values (the series
+	// cap in obs is the backstop for large-but-legitimate model dirs).
+	m.setModel(model.ID)
+
 	var out *trace.Trace
 	batchSize := 0
+	ssp := m.childSpan("simulate")
 	switch model.Kind {
 	case KindIBoxNet:
 		out, err = s.simulateNet(ctx, model, &req)
@@ -346,6 +420,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	default:
 		err = fmt.Errorf("serve: model %s has unknown kind %q", model.ID, model.Kind)
 	}
+	ssp.End()
+	m.setBatch(batchSize)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):

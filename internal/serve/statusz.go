@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"ibox/internal/obs"
+)
+
+// Rolling-window serving stats and the /statusz page.
+//
+// The obs registry's counters and histograms are cumulative; a human
+// (or a router tier choosing the least-loaded worker) wants "requests
+// per second over the last 10 s" and "p99 right now". A background
+// collector ticks an obs.Roller once per second, snapshotting the flat
+// request-latency histogram plus the shed and error counters, and
+// republishes the windowed views as gauges under the serve.win.* prefix
+// so they flow through /metrics and expvar like everything else. The
+// serve.win.* family is machine-dependent by construction (it measures
+// the recent past of this process), so internal/regress skips it when
+// comparing run reports.
+//
+// The collector goroutine stops during Shutdown before the listener
+// closes; tests run under leakcheck, so a leaked ticker fails the
+// package.
+
+// rollWindows are the windows /statusz renders and the gauges export.
+var rollWindows = []time.Duration{time.Second, 10 * time.Second, 60 * time.Second}
+
+// winGauges are the republished rolling views (nil when obs disabled).
+type winGauges struct {
+	reqRate [3]*obs.Gauge // per rollWindows entry
+	p50     *obs.Gauge    // 10 s window
+	p99     *obs.Gauge    // 10 s window
+	shed    *obs.Gauge    // 10 s window rate
+	errs    *obs.Gauge    // 10 s window rate
+}
+
+// startRolling wires the roller and starts the 1 s collector goroutine.
+// No-op when observability is disabled.
+func (s *Server) startRolling() {
+	r := obs.Get()
+	if r == nil {
+		return
+	}
+	s.roller = obs.NewRoller(time.Second, 60)
+	s.roller.TrackHistogram("request_ns", s.httpLatency)
+	s.roller.TrackCounter("shed", s.shed)
+	s.roller.TrackCounter("errors", s.errors)
+	for i, w := range rollWindows {
+		s.win.reqRate[i] = r.Gauge("serve.win.req_rate_" + obs.WindowLabel(w))
+	}
+	s.win.p50 = r.Gauge("serve.win.p50_ns_10s")
+	s.win.p99 = r.Gauge("serve.win.p99_ns_10s")
+	s.win.shed = r.Gauge("serve.win.shed_rate_10s")
+	s.win.errs = r.Gauge("serve.win.err_rate_10s")
+
+	s.rollStop = make(chan struct{})
+	s.rollDone = make(chan struct{})
+	go func() {
+		defer close(s.rollDone)
+		t := time.NewTicker(s.roller.Interval())
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.rollTick()
+			case <-s.rollStop:
+				return
+			}
+		}
+	}()
+}
+
+// rollTick advances the roller and republishes the windowed gauges.
+// Exercised directly by tests (the 1 s ticker is too slow for them).
+func (s *Server) rollTick() {
+	s.roller.Tick()
+	for i, w := range rollWindows {
+		s.win.reqRate[i].Set(s.roller.Rate("request_ns", w))
+	}
+	s.win.p50.Set(s.roller.Quantile("request_ns", 10*time.Second, 0.50))
+	s.win.p99.Set(s.roller.Quantile("request_ns", 10*time.Second, 0.99))
+	s.win.shed.Set(s.roller.Rate("shed", 10*time.Second))
+	s.win.errs.Set(s.roller.Rate("errors", 10*time.Second))
+}
+
+// stopRolling stops the collector; safe to call multiple times (tests
+// call Shutdown both explicitly and from Cleanup).
+func (s *Server) stopRolling() {
+	if s.rollStop == nil {
+		return
+	}
+	s.rollOnce.Do(func() {
+		close(s.rollStop)
+		<-s.rollDone
+	})
+}
+
+// LoadStats is the compact load signal a router tier reads per worker
+// (also served as /statusz?format=json).
+type LoadStats struct {
+	Inflight     int     `json:"inflight"`
+	QueueDepth   int     `json:"queue_depth"`
+	ModelsLoaded int     `json:"models_loaded"`
+	Draining     bool    `json:"draining"`
+	UptimeS      float64 `json:"uptime_s"`
+	Rate1s       float64 `json:"rate_1s"`
+	Rate10s      float64 `json:"rate_10s"`
+	P50Ms10s     float64 `json:"p50_ms_10s"`
+	P99Ms10s     float64 `json:"p99_ms_10s"`
+	ShedRate10s  float64 `json:"shed_rate_10s"`
+	ErrRate10s   float64 `json:"err_rate_10s"`
+}
+
+// LoadStats snapshots the server's current load signal.
+func (s *Server) LoadStats() LoadStats {
+	ls := LoadStats{
+		Inflight:     len(s.sem),
+		QueueDepth:   int(s.waiting.Load()),
+		ModelsLoaded: s.registry.Loaded(),
+		Draining:     s.draining.Load(),
+		UptimeS:      time.Since(s.started).Seconds(),
+	}
+	if s.roller != nil {
+		ls.Rate1s = s.roller.Rate("request_ns", time.Second)
+		ls.Rate10s = s.roller.Rate("request_ns", 10*time.Second)
+		ls.P50Ms10s = s.roller.Quantile("request_ns", 10*time.Second, 0.50) / 1e6
+		ls.P99Ms10s = s.roller.Quantile("request_ns", 10*time.Second, 0.99) / 1e6
+		ls.ShedRate10s = s.roller.Rate("shed", 10*time.Second)
+		ls.ErrRate10s = s.roller.Rate("errors", 10*time.Second)
+	}
+	return ls
+}
+
+// handleStatusz renders the human load page (text) or the router-tier
+// load signal (?format=json).
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	ls := s.LoadStats()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ls)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "ibox-serve statusz\n")
+	fmt.Fprintf(&b, "uptime: %.1fs  draining: %v\n", ls.UptimeS, ls.Draining)
+	fmt.Fprintf(&b, "inflight: %d/%d  queued: %d/%d  models loaded: %d\n\n",
+		ls.Inflight, s.cfg.MaxConcurrent, ls.QueueDepth, s.cfg.MaxQueue, ls.ModelsLoaded)
+
+	if s.roller != nil {
+		fmt.Fprintf(&b, "%-8s %12s %10s %12s %12s\n", "window", "req/s", "count", "p50", "p99")
+		for _, st := range s.roller.Stats("request_ns") {
+			fmt.Fprintf(&b, "%-8s %12.2f %10d %12s %12s\n",
+				obs.WindowLabel(st.Window), st.Rate, st.Count,
+				time.Duration(st.P50).Round(time.Microsecond),
+				time.Duration(st.P99).Round(time.Microsecond))
+		}
+		fmt.Fprintf(&b, "\nshed: %.2f/s (10s)  errors: %.2f/s (10s)\n", ls.ShedRate10s, ls.ErrRate10s)
+	}
+
+	if reg := obs.Get(); reg != nil {
+		snap := reg.Snapshot()
+		var names []string
+		for name := range snap.Counters {
+			if strings.HasPrefix(name, "serve.") {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		if len(names) > 0 {
+			fmt.Fprintf(&b, "\ncumulative counters:\n")
+			for _, name := range names {
+				fmt.Fprintf(&b, "  %-60s %d\n", name, snap.Counters[name])
+			}
+		}
+	}
+	w.Write([]byte(b.String()))
+}
