@@ -2,7 +2,7 @@
 // paths and writes a machine-readable summary in the internal/regress
 // schema, so ibox-compare can gate on it in CI.
 //
-// Four suites:
+// Six suites:
 //
 //   - experiments (default): serial-vs-parallel wall-clock of the two
 //     hottest experiment paths — the Fig 2 ensemble test (per-trace
@@ -35,6 +35,12 @@
 //     observability fully off vs fully on (metrics + labeled families +
 //     access log + trace sampling), so a metrics-layer change that taxes
 //     the request path gates in CI like any other regression.
+//   - drift: the cost of online drift detection. Self-check first —
+//     obs.DriftSketch.Observe must be zero-alloc on the hit path — then
+//     concurrent serving bursts against a calibrated checkpoint with
+//     drift scoring off vs on at the production sampling rate, plus the
+//     deterministic streaming NLL / PIT-deviation scorecard over the
+//     bench input attached as the fidelity record.
 //
 // Usage:
 //
@@ -44,6 +50,7 @@
 //	ibox-bench -suite nested           # BENCH_nested.json
 //	ibox-bench -suite kernel           # BENCH_kernel.json
 //	ibox-bench -suite obs              # BENCH_obs.json
+//	ibox-bench -suite drift            # BENCH_drift.json
 package main
 
 import (
@@ -79,7 +86,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ibox-bench: ")
 	var (
-		suite     = flag.String("suite", "experiments", "benchmark suite: experiments, serve, nested, kernel or obs")
+		suite     = flag.String("suite", "experiments", "benchmark suite: experiments, serve, nested, kernel, obs or drift")
 		scaleName = flag.String("scale", "quick", "experiment scale: quick or paper (experiments suite)")
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		reps      = flag.Int("reps", 5, "repetitions per (benchmark, mode); the minimum is reported")
@@ -114,6 +121,11 @@ func main() {
 			*out = "BENCH_obs.json"
 		}
 		sum = obsSuite(*seed, *reps)
+	case "drift":
+		if *out == "" {
+			*out = "BENCH_drift.json"
+		}
+		sum = driftSuite(*seed, *reps)
 	default:
 		log.Fatalf("unknown suite %q", *suite)
 	}

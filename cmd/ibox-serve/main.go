@@ -17,6 +17,15 @@
 //	     localhost:8080/v1/simulate
 //	curl localhost:8080/metrics        # Prometheus exposition
 //	curl localhost:8080/statusz        # rolling-window load view
+//	curl localhost:8080/healthz?format=json  # judged health + SLO + drift
+//
+// Model-health observability (DESIGN.md "Model-health observability"):
+// replay requests with observed delays are sampled for online drift
+// scoring against each checkpoint's embedded calibration baseline
+// (-drift-every; -quarantine 503s failing models), and an SLO burn-rate
+// engine judges p99 latency, error ratio and drift into the /healthz
+// state (-slo-latency, -slo-latency-target, -slo-error-target). Watch it
+// live with ibox-stats -watch localhost:8080.
 //
 // All output is structured JSON logs on stderr (one "access" line per
 // /v1 request); -log-level tunes verbosity. The daemon drains
@@ -60,6 +69,11 @@ func main() {
 		traceSample  = flag.Float64("trace-sample", 0, "record a trace span lane for this fraction of requests (0 disables)")
 		traceOut     = flag.String("trace-out", "", "write sampled request spans as Chrome trace-event JSON here on shutdown")
 		spanLimit    = flag.Int("span-limit", 4096, "retain at most this many finished spans (oldest overwritten)")
+		driftEvery   = flag.Int("drift-every", 0, "score every Nth eligible replay for model drift (0 = default 8, negative disables)")
+		quarantine   = flag.Bool("quarantine", false, "answer 503 for models whose drift verdict is failing")
+		sloLatency   = flag.Duration("slo-latency", time.Second, "latency SLO threshold: this fraction of requests must finish under it")
+		sloLatPct    = flag.Float64("slo-latency-target", 0.99, "good-event fraction the latency SLO promises")
+		sloErrPct    = flag.Float64("slo-error-target", 0.99, "non-error fraction the error-ratio SLO promises")
 	)
 	flag.Parse()
 
@@ -84,18 +98,23 @@ func main() {
 	}
 
 	s, err := serve.NewServer(serve.Config{
-		ModelDir:       *modelDir,
-		MaxModels:      *maxModels,
-		Workers:        *workers,
-		BatchWindow:    *batchWindow,
-		BatchMax:       *batchMax,
-		NoBatch:        *noBatch,
-		MaxConcurrent:  *maxConc,
-		MaxQueue:       *maxQueue,
-		MaxBodyBytes:   *maxBody,
-		DefaultTimeout: *timeout,
-		Debug:          *debug,
-		TraceSample:    *traceSample,
+		ModelDir:         *modelDir,
+		MaxModels:        *maxModels,
+		Workers:          *workers,
+		BatchWindow:      *batchWindow,
+		BatchMax:         *batchMax,
+		NoBatch:          *noBatch,
+		MaxConcurrent:    *maxConc,
+		MaxQueue:         *maxQueue,
+		MaxBodyBytes:     *maxBody,
+		DefaultTimeout:   *timeout,
+		Debug:            *debug,
+		TraceSample:      *traceSample,
+		DriftEvery:       *driftEvery,
+		Quarantine:       *quarantine,
+		SLOLatency:       *sloLatency,
+		SLOLatencyTarget: *sloLatPct,
+		SLOErrorTarget:   *sloErrPct,
 	})
 	if err != nil {
 		fatal("startup", err)

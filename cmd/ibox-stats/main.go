@@ -9,6 +9,12 @@
 //	ibox-stats -trace corpus/cubic-000.json
 //	ibox-stats -report RUN_REPORT.json
 //	curl -s localhost:8080/metrics | ibox-stats -promcheck -
+//	ibox-stats -watch localhost:8080
+//
+// -watch turns the tool into a live dashboard over a running ibox-serve:
+// it polls /statusz, /healthz and /metrics every -interval and redraws
+// the load, SLO burn-rate and model-drift tables in place. -count bounds
+// the refreshes (CI smoke uses -count 1).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"ibox/internal/obs"
 	"ibox/internal/sim"
@@ -31,15 +38,22 @@ func main() {
 	tracePath := flag.String("trace", "", "trace file (JSON)")
 	reportPath := flag.String("report", "", "run report (RUN_REPORT.json from ibox-experiments -report)")
 	promPath := flag.String("promcheck", "", "validate a Prometheus text-exposition scrape (a /metrics capture; \"-\" reads stdin)")
+	watchAddr := flag.String("watch", "", "live dashboard over a running ibox-serve at this address (host:port or URL)")
+	interval := flag.Duration("interval", time.Second, "refresh interval for -watch")
+	count := flag.Int("count", 0, "number of -watch refreshes before exiting (0 = until interrupted)")
 	flag.Parse()
 	set := 0
-	for _, f := range []string{*tracePath, *reportPath, *promPath} {
+	for _, f := range []string{*tracePath, *reportPath, *promPath, *watchAddr} {
 		if f != "" {
 			set++
 		}
 	}
 	if set != 1 {
-		log.Fatal("exactly one of -trace, -report or -promcheck is required")
+		log.Fatal("exactly one of -trace, -report, -promcheck or -watch is required")
+	}
+	if *watchAddr != "" {
+		runWatch(os.Stdout, *watchAddr, *interval, *count)
+		return
 	}
 	if *promPath != "" {
 		var in io.Reader = os.Stdin

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"ibox/internal/obs"
+	"ibox/internal/serve"
+)
+
+// The -watch mode: a live terminal dashboard over a running ibox-serve.
+// Each refresh polls the worker's three observability surfaces —
+// /statusz?format=json (the router-tier load signal), /healthz?format=json
+// (judged health with per-objective SLO burn rates and per-model drift
+// scorecards) and /metrics (cumulative counters via the Prometheus text
+// exposition) — and redraws one screen. Transport errors render as a
+// banner and the loop keeps polling, so a worker restart heals in place.
+//
+// -count bounds the number of refreshes (0 = until interrupted); CI
+// smoke-checks the whole pipeline with -count 1 against a live server.
+
+// watchClient polls one worker.
+type watchClient struct {
+	base string
+	hc   *http.Client
+}
+
+func newWatchClient(addr string) *watchClient {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &watchClient{
+		base: strings.TrimRight(addr, "/"),
+		hc:   &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+func (w *watchClient) getJSON(path string, v any) error {
+	resp, err := w.hc.Get(w.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// /healthz deliberately answers 503 when failing — the body is still
+	// the payload we came for, so only transport-level failures bail.
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (w *watchClient) getMetrics() ([]obs.ExpoSample, error) {
+	resp, err := w.hc.Get(w.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return obs.ReadExposition(resp.Body)
+}
+
+// watchFrame is one polled snapshot of the worker.
+type watchFrame struct {
+	load    serve.LoadStats
+	health  serve.HealthStatus
+	samples []obs.ExpoSample
+	err     error
+}
+
+func (w *watchClient) poll() watchFrame {
+	var f watchFrame
+	if f.err = w.getJSON("/statusz?format=json", &f.load); f.err != nil {
+		return f
+	}
+	if f.err = w.getJSON("/healthz?format=json", &f.health); f.err != nil {
+		return f
+	}
+	f.samples, f.err = w.getMetrics()
+	return f
+}
+
+// counterPrefixes selects which cumulative samples the dashboard shows.
+var counterPrefixes = []string{
+	"serve_requests_total",
+	"serve_errors_total",
+	"serve_shed_total",
+	"serve_drift_scored_total",
+	"serve_drift_quarantined_total",
+	"obs_slo_alerts_total",
+}
+
+// render draws one dashboard frame.
+func render(out io.Writer, addr string, f watchFrame, refreshed time.Time) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ibox-serve %s  —  %s\n", addr, refreshed.Format("15:04:05"))
+	if f.err != nil {
+		fmt.Fprintf(&b, "\n  poll failed: %v\n", f.err)
+		io.WriteString(out, b.String())
+		return
+	}
+
+	ls, hs := f.load, f.health
+	fmt.Fprintf(&b, "health: %-8s uptime: %-10s go: %s", hs.Status, fmtDur(ls.UptimeS), hs.GoVersion)
+	if hs.Revision != "" {
+		fmt.Fprintf(&b, "  rev: %.12s", hs.Revision)
+	}
+	if ls.Draining {
+		fmt.Fprintf(&b, "  DRAINING")
+	}
+	fmt.Fprintf(&b, "\nload:   inflight=%d queued=%d models=%d drifted=%d\n\n",
+		ls.Inflight, ls.QueueDepth, ls.ModelsLoaded, ls.ModelsDrifted)
+
+	lt := newTextTable("window", "req/s", "p50", "p99", "shed/s", "err/s")
+	lt.add("1s", fmt.Sprintf("%.1f", ls.Rate1s), "", "", "", "")
+	lt.add("10s", fmt.Sprintf("%.1f", ls.Rate10s),
+		fmt.Sprintf("%.2fms", ls.P50Ms10s), fmt.Sprintf("%.2fms", ls.P99Ms10s),
+		fmt.Sprintf("%.2f", ls.ShedRate10s), fmt.Sprintf("%.2f", ls.ErrRate10s))
+	fmt.Fprintf(&b, "%s\n", lt)
+
+	if len(hs.SLO) > 0 {
+		t := newTextTable("objective", "state", "burn10s", "burn60s", "value")
+		for _, o := range hs.SLO {
+			t.add(o.Name, o.State.String(),
+				fmt.Sprintf("%.2f", o.BurnShort), fmt.Sprintf("%.2f", o.BurnLong),
+				fmt.Sprintf("%.4f", o.Value))
+		}
+		fmt.Fprintf(&b, "slo objectives:\n%s\n", t)
+	}
+
+	if len(hs.Drift) > 0 {
+		t := newTextTable("model", "verdict", "windows", "nll", "pit dev", "baseline nll")
+		for _, d := range hs.Drift {
+			base := "-"
+			if d.Baseline != nil {
+				base = fmt.Sprintf("%.4f", d.Baseline.NLL)
+			}
+			t.add(d.Model, d.Verdict, fmt.Sprintf("%d", d.Windows),
+				fmt.Sprintf("%.4f", d.NLL), fmt.Sprintf("%.4f", d.PITDeviation), base)
+		}
+		fmt.Fprintf(&b, "model drift:\n%s\n", t)
+	}
+
+	if rows := pickCounters(f.samples); len(rows) > 0 {
+		t := newTextTable("counter", "value")
+		for _, r := range rows {
+			t.add(r.name, fmt.Sprintf("%.0f", r.value))
+		}
+		fmt.Fprintf(&b, "cumulative:\n%s", t)
+	}
+	io.WriteString(out, b.String())
+}
+
+type counterRow struct {
+	name  string
+	value float64
+}
+
+// pickCounters filters the scrape down to the dashboard's counter set,
+// keeping label bodies so per-model and per-objective series stay apart.
+func pickCounters(samples []obs.ExpoSample) []counterRow {
+	var rows []counterRow
+	for _, s := range samples {
+		for _, p := range counterPrefixes {
+			if s.Name == p {
+				name := s.Name
+				if s.Labels != "" {
+					name += "{" + s.Labels + "}"
+				}
+				rows = append(rows, counterRow{name: name, value: s.Value})
+				break
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows
+}
+
+func fmtDur(secs float64) string {
+	return time.Duration(secs * float64(time.Second)).Round(time.Second).String()
+}
+
+// clearScreen is the ANSI erase-display + cursor-home sequence issued
+// before each redraw.
+const clearScreen = "\x1b[2J\x1b[H"
+
+// runWatch polls addr every interval and redraws until count frames have
+// rendered (count 0 = forever). With count 1 the screen is not cleared,
+// so a CI smoke step captures one readable frame.
+func runWatch(out io.Writer, addr string, interval time.Duration, count int) {
+	w := newWatchClient(addr)
+	for n := 0; ; {
+		f := w.poll()
+		if count != 1 {
+			io.WriteString(out, clearScreen)
+		}
+		render(out, addr, f, time.Now())
+		n++
+		if count > 0 && n >= count {
+			return
+		}
+		time.Sleep(interval)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ibox/internal/obs"
+	"ibox/internal/serve"
+)
+
+// TestWatchOneFrame drives the -watch loop for a single frame against a
+// live server: the dashboard must assemble /statusz, /healthz and
+// /metrics into one readable screen without clearing it (-count 1 is the
+// CI smoke contract).
+func TestWatchOneFrame(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	s, err := serve.NewServer(serve.Config{ModelDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The SLO table fills in after the server's first 1 s collector tick;
+	// poll until it shows up.
+	var frame string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var out bytes.Buffer
+		runWatch(&out, ts.URL, time.Millisecond, 1)
+		frame = out.String()
+		if strings.Contains(frame, "slo objectives:") || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if strings.Contains(frame, clearScreen) {
+		t.Fatalf("-count 1 frame must not clear the screen:\n%q", frame)
+	}
+	for _, want := range []string{"health: ok", "uptime:", "inflight=0", "slo objectives:", "latency_p99", "drift"} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+}
+
+// TestWatchPollError: an unreachable worker renders a banner instead of
+// exiting, so the dashboard heals across restarts.
+func TestWatchPollError(t *testing.T) {
+	var out bytes.Buffer
+	runWatch(&out, "127.0.0.1:1", time.Millisecond, 1)
+	if !strings.Contains(out.String(), "poll failed") {
+		t.Fatalf("no error banner:\n%s", out.String())
+	}
+}
+
+func TestPickCounters(t *testing.T) {
+	samples := []obs.ExpoSample{
+		{Name: "serve_requests_total", Value: 10},
+		{Name: "serve_drift_quarantined_total", Labels: `model="m.json"`, Value: 2},
+		{Name: "serve_win_p99_ns_10s", Value: 5}, // gauge: not shown
+		{Name: "unrelated_total", Value: 3},      // not in the set
+	}
+	rows := pickCounters(samples)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v, want 2", rows)
+	}
+	if rows[0].name != `serve_drift_quarantined_total{model="m.json"}` || rows[0].value != 2 {
+		t.Fatalf("row 0: %+v", rows[0])
+	}
+}

@@ -81,6 +81,12 @@ func train(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Embed the training-time calibration scorecard so the serving tier
+	// can judge online drift against it (see internal/obs DriftSketch).
+	cal := model.Calibrate(samples)
+	model.SetBaseline(cal)
+	fmt.Printf("calibration baseline: %d windows, NLL %.4f, PIT deviation %.4f\n",
+		cal.Windows, cal.NLL, cal.PITDeviation)
 	if err := model.Save(*out); err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ibox/internal/obs"
+	"ibox/internal/trace"
 )
 
 // Post-training calibration of the Gaussian head (§4). Training minimizes
@@ -38,16 +39,64 @@ var coverageQuantiles = []struct {
 // the model's standardized units so it is directly comparable to the
 // training loss (Model.Diag.FinalLoss).
 type Calibration struct {
-	Windows      int
-	NLL          float64
-	PIT          []float64
-	PITDeviation float64
-	Coverage     map[string]float64
+	Windows      int                `json:"windows"`
+	NLL          float64            `json:"nll"`
+	PIT          []float64          `json:"pit,omitempty"`
+	PITDeviation float64            `json:"pit_deviation"`
+	Coverage     map[string]float64 `json:"coverage,omitempty"`
 }
 
 // stdNormalCDF is Φ, the standard normal CDF.
 func stdNormalCDF(z float64) float64 {
 	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// SetBaseline embeds cal as the model's training-time calibration
+// baseline; Write persists it in the artifact, and the serving tier
+// judges streaming drift sketches against it.
+func (m *Model) SetBaseline(cal Calibration) {
+	c := cal
+	m.baseline = &c
+}
+
+// Baseline returns the embedded training-time calibration, or nil for
+// models that were never calibrated — including any artifact written
+// before baselines existed (the serialization tolerates both
+// directions).
+func (m *Model) Baseline() *Calibration { return m.baseline }
+
+// ScoreWindows scores the Gaussian head on one observed trace, open
+// loop (teacher-forced d_{t−1}), invoking fn once per observed window
+// with the PIT value u = Φ(z), the standardized residual z, and the
+// standardized NLL (same units as the training loss). It returns the
+// number of windows scored. Pure reads, like Calibrate — which is built
+// on it — so the serving tier can score live replay requests against
+// the model without perturbing results (see internal/serve's drift
+// detection).
+func (m *Model) ScoreWindows(tr *trace.Trace, ct *trace.Series, fn func(pit, z, nll float64)) int {
+	mu, sigma := m.PredictWindowsOpenLoop(tr, ct)
+	_, ys, mask := WindowFeatures(tr, nil, m.Cfg.Window)
+	n := len(mu)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	windows := 0
+	for t := 0; t < n; t++ {
+		if !mask[t] {
+			continue
+		}
+		sig := sigma[t]
+		if sig <= 0 {
+			sig = 1e-9
+		}
+		z := (ys[t] - mu[t]) / sig
+		u := stdNormalCDF(z)
+		// Standardized NLL: same units as the training loss.
+		nll := 0.5*math.Log(2*math.Pi) + math.Log(sig/m.yStd) + 0.5*z*z
+		fn(u, z, nll)
+		windows++
+	}
+	return windows
 }
 
 // Calibrate scores the model's Gaussian head on held-out traces: PIT
@@ -64,22 +113,7 @@ func (m *Model) Calibrate(heldOut []TrainingSample) Calibration {
 	covCounts := make([]int, len(coverageQuantiles))
 	nllSum := 0.0
 	for _, s := range heldOut {
-		mu, sigma := m.PredictWindowsOpenLoop(s.Trace, s.CT)
-		_, ys, mask := WindowFeatures(s.Trace, nil, m.Cfg.Window)
-		n := len(mu)
-		if len(ys) < n {
-			n = len(ys)
-		}
-		for t := 0; t < n; t++ {
-			if !mask[t] {
-				continue
-			}
-			sig := sigma[t]
-			if sig <= 0 {
-				sig = 1e-9
-			}
-			z := (ys[t] - mu[t]) / sig
-			u := stdNormalCDF(z)
+		cal.Windows += m.ScoreWindows(s.Trace, s.CT, func(u, z, nll float64) {
 			b := int(u * pitBins)
 			if b >= pitBins {
 				b = pitBins - 1
@@ -90,10 +124,8 @@ func (m *Model) Calibrate(heldOut []TrainingSample) Calibration {
 					covCounts[i]++
 				}
 			}
-			// Standardized NLL: same units as the training loss.
-			nllSum += 0.5*math.Log(2*math.Pi) + math.Log(sig/m.yStd) + 0.5*z*z
-			cal.Windows++
-		}
+			nllSum += nll
+		})
 	}
 	if cal.Windows == 0 {
 		return cal

@@ -115,6 +115,10 @@ type Model struct {
 	// useInt8 switches inference onto the opt-in int8-quantized kernel.
 	// Off by default; see EnableInt8.
 	useInt8 bool
+	// baseline is the training-time calibration scorecard embedded in
+	// the artifact (SetBaseline/Baseline); nil when never calibrated or
+	// when the artifact predates baselines.
+	baseline *Calibration
 }
 
 // EnableInt8 toggles the int8-quantized inference kernel for every

@@ -21,6 +21,10 @@ type modelJSON struct {
 	OutlierRate float64           `json:"outlier_rate"`
 	MinDelayMs  float64           `json:"min_delay_ms"`
 	Envelope    envelope          `json:"envelope"`
+	// Calibration is the optional training-time baseline (SetBaseline).
+	// Omitted when absent; decoders ignore unknown fields, so artifacts
+	// round-trip across versions in both directions.
+	Calibration *Calibration `json:"calibration,omitempty"`
 }
 
 // Write serializes the trained model as JSON.
@@ -33,7 +37,7 @@ func (m *Model) Write(w io.Writer) error {
 		XMean: m.xScale.Mean, XStd: m.xScale.Std,
 		YMean: m.yMean, YStd: m.yStd,
 		OutlierRate: m.outlierRate, MinDelayMs: m.minDelayMs,
-		Envelope: m.env,
+		Envelope: m.env, Calibration: m.baseline,
 	})
 }
 
@@ -51,6 +55,7 @@ func Read(r io.Reader) (*Model, error) {
 		outlierRate: in.OutlierRate,
 		minDelayMs:  in.MinDelayMs,
 		env:         in.Envelope,
+		baseline:    in.Calibration,
 		trained:     true,
 	}
 	// Reject corrupt or hand-edited checkpoints at load time rather than

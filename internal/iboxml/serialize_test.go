@@ -2,6 +2,7 @@ package iboxml
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"testing"
 
@@ -72,5 +73,96 @@ func TestReadGarbageFails(t *testing.T) {
 	}
 	if _, err := Read(bytes.NewBufferString("{}")); err == nil {
 		t.Error("empty model accepted")
+	}
+}
+
+// TestBaselineRoundTrip: a calibration baseline embedded via SetBaseline
+// survives serialization, and artifacts written without one (or by
+// older builds, which lack the field entirely) load with a nil baseline.
+func TestBaselineRoundTrip(t *testing.T) {
+	m, err := Train(trainSamples(1, 4*sim.Second), Config{Hidden: 4, Layers: 1, Epochs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Baseline() != nil {
+		t.Fatal("fresh model should have no baseline")
+	}
+	cal := m.Calibrate(trainSamples(2, 4*sim.Second))
+	m.SetBaseline(cal)
+	if b := m.Baseline(); b == nil || b.NLL != cal.NLL || b.PITDeviation != cal.PITDeviation {
+		t.Fatalf("baseline after set: %+v, want %+v", m.Baseline(), cal)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if !bytes.Contains(raw, []byte(`"calibration"`)) {
+		t.Fatal("serialized artifact missing calibration field")
+	}
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got.Baseline()
+	if b == nil || b.NLL != cal.NLL || b.PITDeviation != cal.PITDeviation || b.Windows != cal.Windows {
+		t.Fatalf("baseline after round trip: %+v, want %+v", b, cal)
+	}
+
+	// A legacy artifact — the same document with the calibration field
+	// deleted — still loads, with no baseline.
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	delete(doc, "calibration")
+	legacy, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Read(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy artifact rejected: %v", err)
+	}
+	if old.Baseline() != nil {
+		t.Fatal("legacy artifact should have nil baseline")
+	}
+}
+
+// TestScoreWindowsMatchesCalibrate: the streaming scorer and the batch
+// Calibrate fold the same per-window numbers, so their aggregates agree
+// exactly — the property the serving tier's drift sketch relies on.
+func TestScoreWindowsMatchesCalibrate(t *testing.T) {
+	m, err := Train(trainSamples(1, 4*sim.Second), Config{Hidden: 4, Layers: 1, Epochs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := trainSamples(2, 4*sim.Second)
+	cal := m.Calibrate(held)
+
+	var nllSum float64
+	n := 0
+	bins := make([]float64, len(cal.PIT))
+	for _, s := range held {
+		n += m.ScoreWindows(s.Trace, s.CT, func(pit, _, nll float64) {
+			nllSum += nll
+			b := int(pit * float64(len(bins)))
+			if b >= len(bins) {
+				b = len(bins) - 1
+			}
+			bins[b]++
+		})
+	}
+	if n != cal.Windows {
+		t.Fatalf("windows %d vs Calibrate %d", n, cal.Windows)
+	}
+	if got := nllSum / float64(n); got != cal.NLL {
+		t.Fatalf("mean NLL %v vs Calibrate %v", got, cal.NLL)
+	}
+	for b := range bins {
+		if got := bins[b] / float64(n); got != cal.PIT[b] {
+			t.Fatalf("PIT bin %d: %v vs Calibrate %v", b, got, cal.PIT[b])
+		}
 	}
 }

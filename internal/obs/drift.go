@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Streaming model-drift sketch. A trained probabilistic model ships with
+// a training-time calibration scorecard (held-out PIT histogram and
+// standardized NLL); at serving time, replay requests carry the observed
+// delays they ask the model to reproduce, so every scored request yields
+// fresh (PIT, NLL) samples of the model's *current* predictive honesty.
+// DriftSketch accumulates those samples in bounded memory with the same
+// lock-free discipline as the labeled metric families: Observe is a
+// handful of atomic adds on the request path (no locks, no allocations,
+// no clock reads), Snapshot folds the atomics into a scorecard shaped
+// like the training-time baseline, and DriftPolicy.Judge compares the
+// two into an ok / warn / failing verdict.
+
+// DriftPITBins is the PIT histogram resolution of the sketch — the same
+// 10 bins iboxml.Calibrate uses, so streaming and training-time
+// histograms are directly comparable.
+const DriftPITBins = 10
+
+// DriftSketch accumulates streaming PIT/NLL observations for one model.
+// The zero value is ready to use. All methods are safe for concurrent
+// use; Observe is lock-free and allocation-free.
+type DriftSketch struct {
+	pit     [DriftPITBins]atomic.Int64
+	count   atomic.Int64
+	nllBits atomic.Uint64 // Σ NLL as float64 bits, CAS-accumulated
+}
+
+// Observe records one scored window: pit is the probability integral
+// transform Φ(z) in [0,1], nll the standardized negative log-likelihood.
+// Non-finite observations are dropped. Nil-safe.
+func (d *DriftSketch) Observe(pit, nll float64) {
+	if d == nil || math.IsNaN(pit) || math.IsInf(nll, 0) || math.IsNaN(nll) {
+		return
+	}
+	b := int(pit * DriftPITBins)
+	if b < 0 {
+		b = 0
+	}
+	if b >= DriftPITBins {
+		b = DriftPITBins - 1
+	}
+	d.pit[b].Add(1)
+	for {
+		old := d.nllBits.Load()
+		if d.nllBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+nll)) {
+			break
+		}
+	}
+	// Count last: a concurrent Snapshot may under-read, never over-read.
+	d.count.Add(1)
+}
+
+// DriftSnapshot is a point-in-time view of a sketch, shaped like the
+// training-time iboxml.Calibration scorecard.
+type DriftSnapshot struct {
+	Windows      int64     `json:"windows"`       // scored windows so far
+	NLL          float64   `json:"nll"`           // mean standardized NLL
+	PIT          []float64 `json:"pit,omitempty"` // bin fractions (sums to 1)
+	PITDeviation float64   `json:"pit_deviation"` // max |bin − 1/bins|
+}
+
+// Snapshot folds the sketch's atomics into a scorecard. Concurrent
+// Observes may straddle the read; the result is a consistent-enough view
+// for verdicts (bin fractions normalized by the bins actually read).
+func (d *DriftSketch) Snapshot() DriftSnapshot {
+	if d == nil {
+		return DriftSnapshot{}
+	}
+	var bins [DriftPITBins]int64
+	total := int64(0)
+	for b := range bins {
+		bins[b] = d.pit[b].Load()
+		total += bins[b]
+	}
+	s := DriftSnapshot{Windows: total}
+	if total == 0 {
+		return s
+	}
+	s.NLL = math.Float64frombits(d.nllBits.Load()) / float64(d.count.Load())
+	s.PIT = make([]float64, DriftPITBins)
+	for b := range bins {
+		s.PIT[b] = float64(bins[b]) / float64(total)
+		if dev := math.Abs(s.PIT[b] - 1.0/DriftPITBins); dev > s.PITDeviation {
+			s.PITDeviation = dev
+		}
+	}
+	return s
+}
+
+// DriftBaseline is the training-time reference a streaming snapshot is
+// judged against — the two Calibration fields drift can move.
+type DriftBaseline struct {
+	NLL          float64 `json:"nll"`
+	PITDeviation float64 `json:"pit_deviation"`
+}
+
+// DriftVerdict is the judged state of one model's predictive honesty.
+// The order is monotone in badness, so "worst across models" is a max.
+type DriftVerdict int32
+
+const (
+	// DriftCold: too few scored windows to judge (startup, or a model
+	// serving only synthetic requests with no observed delays).
+	DriftCold DriftVerdict = iota
+	DriftOK
+	DriftWarn
+	DriftFailing
+)
+
+func (v DriftVerdict) String() string {
+	switch v {
+	case DriftOK:
+		return "ok"
+	case DriftWarn:
+		return "warn"
+	case DriftFailing:
+		return "failing"
+	default:
+		return "cold"
+	}
+}
+
+// DriftPolicy sets how far a streaming scorecard may wander from its
+// training-time baseline before the verdict degrades. Zero fields select
+// defaults.
+type DriftPolicy struct {
+	// MinWindows gates judging: below it the verdict is DriftCold.
+	// Default 128 — enough windows that PIT bin fractions have settled.
+	MinWindows int64
+	// NLLSlack is the tolerated mean-NLL excess over baseline (nats, in
+	// the model's standardized units). Warn at 1×, fail at 2×. Default 0.5.
+	NLLSlack float64
+	// PITSlack is the tolerated PIT-deviation excess over baseline
+	// (absolute bin-fraction units). Warn at 1×, fail at 2×. Default 0.08.
+	PITSlack float64
+}
+
+// WithDefaults fills zero fields with the default policy.
+func (p DriftPolicy) WithDefaults() DriftPolicy {
+	if p.MinWindows <= 0 {
+		p.MinWindows = 128
+	}
+	if p.NLLSlack <= 0 {
+		p.NLLSlack = 0.5
+	}
+	if p.PITSlack <= 0 {
+		p.PITSlack = 0.08
+	}
+	return p
+}
+
+// Judge compares a streaming snapshot against the training-time
+// baseline. base == nil marks an artifact that predates embedded
+// calibration: the NLL has no reference so only the PIT histogram is
+// judged, against the uniform ideal (baseline deviation 0).
+func (p DriftPolicy) Judge(s DriftSnapshot, base *DriftBaseline) DriftVerdict {
+	p = p.WithDefaults()
+	if s.Windows < p.MinWindows {
+		return DriftCold
+	}
+	basePIT := 0.0
+	score := 0.0
+	if base != nil {
+		basePIT = base.PITDeviation
+		score = (s.NLL - base.NLL) / p.NLLSlack
+	}
+	if ps := (s.PITDeviation - basePIT) / p.PITSlack; ps > score {
+		score = ps
+	}
+	switch {
+	case score >= 2:
+		return DriftFailing
+	case score >= 1:
+		return DriftWarn
+	default:
+		return DriftOK
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDriftSketchObserve(t *testing.T) {
+	var d DriftSketch
+	// 100 observations spread uniformly across the bins, NLL 1.5 each.
+	for i := 0; i < 100; i++ {
+		d.Observe((float64(i)+0.5)/100, 1.5)
+	}
+	s := d.Snapshot()
+	if s.Windows != 100 {
+		t.Fatalf("windows = %d, want 100", s.Windows)
+	}
+	if math.Abs(s.NLL-1.5) > 1e-12 {
+		t.Fatalf("mean NLL = %v, want 1.5", s.NLL)
+	}
+	if len(s.PIT) != DriftPITBins {
+		t.Fatalf("PIT bins = %d, want %d", len(s.PIT), DriftPITBins)
+	}
+	for b, f := range s.PIT {
+		if math.Abs(f-0.1) > 1e-12 {
+			t.Fatalf("bin %d fraction = %v, want 0.1", b, f)
+		}
+	}
+	if s.PITDeviation > 1e-12 {
+		t.Fatalf("uniform PIT deviation = %v, want 0", s.PITDeviation)
+	}
+}
+
+func TestDriftSketchEdges(t *testing.T) {
+	var d DriftSketch
+	// PIT exactly 1.0 clamps into the last bin; negative clamps to the
+	// first; NaN/Inf observations are dropped entirely.
+	d.Observe(1.0, 0)
+	d.Observe(-0.5, 0)
+	d.Observe(math.NaN(), 0)
+	d.Observe(0.5, math.NaN())
+	d.Observe(0.5, math.Inf(1))
+	s := d.Snapshot()
+	if s.Windows != 2 {
+		t.Fatalf("windows = %d, want 2 (non-finite dropped)", s.Windows)
+	}
+	if s.PIT[DriftPITBins-1] != 0.5 || s.PIT[0] != 0.5 {
+		t.Fatalf("clamped bins: %v", s.PIT)
+	}
+
+	var nilSketch *DriftSketch
+	nilSketch.Observe(0.5, 1) // no panic
+	if ns := nilSketch.Snapshot(); ns.Windows != 0 {
+		t.Fatalf("nil sketch snapshot: %+v", ns)
+	}
+	if s := (&DriftSketch{}).Snapshot(); s.Windows != 0 || s.PIT != nil {
+		t.Fatalf("empty sketch snapshot: %+v", s)
+	}
+}
+
+// TestDriftSketchObserveZeroAlloc pins the hit-path contract: scoring a
+// window on the serving path must not allocate.
+func TestDriftSketchObserveZeroAlloc(t *testing.T) {
+	var d DriftSketch
+	if n := testing.AllocsPerRun(1000, func() {
+		d.Observe(0.42, 1.1)
+	}); n != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", n)
+	}
+}
+
+func TestDriftSketchConcurrent(t *testing.T) {
+	var d DriftSketch
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.Observe(float64(i%10)/10+0.05, 2.0)
+				if i%64 == 0 {
+					_ = d.Snapshot() // reads race against writes
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := d.Snapshot()
+	if s.Windows != workers*per {
+		t.Fatalf("windows = %d, want %d", s.Windows, workers*per)
+	}
+	if math.Abs(s.NLL-2.0) > 1e-9 {
+		t.Fatalf("mean NLL = %v, want 2.0", s.NLL)
+	}
+}
+
+func TestDriftPolicyJudge(t *testing.T) {
+	base := &DriftBaseline{NLL: 1.0, PITDeviation: 0.05}
+	p := DriftPolicy{MinWindows: 10, NLLSlack: 0.5, PITSlack: 0.1}
+	cases := []struct {
+		name string
+		s    DriftSnapshot
+		base *DriftBaseline
+		want DriftVerdict
+	}{
+		{"cold", DriftSnapshot{Windows: 9, NLL: 99}, base, DriftCold},
+		{"ok", DriftSnapshot{Windows: 10, NLL: 1.2, PITDeviation: 0.05}, base, DriftOK},
+		{"warn on NLL", DriftSnapshot{Windows: 10, NLL: 1.6, PITDeviation: 0.05}, base, DriftWarn},
+		{"failing on NLL", DriftSnapshot{Windows: 10, NLL: 2.1, PITDeviation: 0.05}, base, DriftFailing},
+		{"warn on PIT", DriftSnapshot{Windows: 10, NLL: 1.0, PITDeviation: 0.16}, base, DriftWarn},
+		{"failing on PIT", DriftSnapshot{Windows: 10, NLL: 1.0, PITDeviation: 0.30}, base, DriftFailing},
+		// No baseline: NLL has no reference, PIT judged vs uniform.
+		{"legacy ok", DriftSnapshot{Windows: 10, NLL: 99, PITDeviation: 0.05}, nil, DriftOK},
+		{"legacy failing", DriftSnapshot{Windows: 10, PITDeviation: 0.25}, nil, DriftFailing},
+	}
+	for _, tc := range cases {
+		if got := p.Judge(tc.s, tc.base); got != tc.want {
+			t.Errorf("%s: Judge = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// Zero policy takes defaults and still cold-gates.
+	if got := (DriftPolicy{}).Judge(DriftSnapshot{Windows: 1}, nil); got != DriftCold {
+		t.Fatalf("default policy on 1 window = %v, want cold", got)
+	}
+	def := DriftPolicy{}.WithDefaults()
+	if def.MinWindows != 128 || def.NLLSlack != 0.5 || def.PITSlack != 0.08 {
+		t.Fatalf("defaults = %+v", def)
+	}
+}
+
+func TestDriftVerdictString(t *testing.T) {
+	for v, want := range map[DriftVerdict]string{
+		DriftCold: "cold", DriftOK: "ok", DriftWarn: "warn", DriftFailing: "failing",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestDriftSnapshotJSON(t *testing.T) {
+	var d DriftSketch
+	d.Observe(0.05, 1.0)
+	out, err := json.Marshal(d.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"windows"`, `"nll"`, `"pit"`, `"pit_deviation"`} {
+		if !strings.Contains(string(out), key) {
+			t.Fatalf("snapshot JSON missing %s: %s", key, out)
+		}
+	}
+}

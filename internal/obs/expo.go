@@ -323,6 +323,42 @@ func ValidateExposition(r io.Reader) (families, samples int, err error) {
 	return families, samples, nil
 }
 
+// ExpoSample is one parsed sample line of a Prometheus text exposition.
+type ExpoSample struct {
+	Name   string // metric name as exposed (e.g. "serve_http_requests_total")
+	Labels string // raw label body without braces ("" when unlabeled)
+	Value  float64
+}
+
+// ReadExposition parses a Prometheus text exposition into its sample
+// lines (comments and TYPE/HELP lines are skipped), for consumers that
+// want the values rather than the validation — the ibox-stats -watch
+// dashboard reads live scrapes through it. Unlike ValidateExposition it
+// does not enforce family typing or histogram invariants; it fails only
+// on lines that do not parse as samples at all.
+func ReadExposition(r io.Reader) ([]ExpoSample, error) {
+	var out []ExpoSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		out = append(out, ExpoSample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // splitHistSuffix separates a histogram series name into its family and
 // the _bucket/_sum/_count suffix ("" when none).
 func splitHistSuffix(name string) (base, suffix string) {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -128,5 +129,59 @@ func TestValidateExpositionRejects(t *testing.T) {
 	ok := "# HELP x a counter\n# TYPE x counter\nx{k=\"v\"} 1 1700000000\n"
 	if _, _, err := ValidateExposition(strings.NewReader(ok)); err != nil {
 		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestReadExposition(t *testing.T) {
+	in := `# HELP serve_requests_total requests
+# TYPE serve_requests_total counter
+serve_requests_total 42
+
+serve_http{route="simulate",class="2xx"} 7
+serve_win_p99_ns_10s 1.5e+06
+`
+	samples, err := ReadExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3: %+v", len(samples), samples)
+	}
+	if samples[0].Name != "serve_requests_total" || samples[0].Value != 42 || samples[0].Labels != "" {
+		t.Fatalf("sample 0: %+v", samples[0])
+	}
+	if samples[1].Labels != `route="simulate",class="2xx"` {
+		t.Fatalf("sample 1 labels: %q", samples[1].Labels)
+	}
+	if samples[2].Value != 1.5e6 {
+		t.Fatalf("sample 2 value: %v", samples[2].Value)
+	}
+	if _, err := ReadExposition(strings.NewReader("not a sample line at all {")); err == nil {
+		t.Fatal("malformed line should error")
+	}
+}
+
+// ReadExposition round-trips what WritePrometheus emits.
+func TestReadExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.reqs").Add(3)
+	r.GaugeVec("serve.drift.state", "model").With("m.json").Set(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ReadExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]float64{}
+	for _, s := range samples {
+		found[s.Name] = s.Value
+	}
+	if found["serve_reqs_total"] != 3 {
+		t.Fatalf("counter sample missing: %+v", found)
+	}
+	if found["serve_drift_state"] != 2 {
+		t.Fatalf("gauge sample missing: %+v", found)
 	}
 }

@@ -220,6 +220,55 @@ func (ro *Roller) Quantile(name string, window time.Duration, q float64) float64
 	return 0
 }
 
+// CountOver returns how many of the named histogram's observations in
+// the trailing window exceeded threshold (native unit), alongside the
+// window's total. Within the bucket straddling the threshold the split
+// is linearly interpolated, consistent with Quantile; the unbounded last
+// bucket interpolates as if it ended at twice its lower bound. (0, 0)
+// when the name is unknown or the window is empty.
+func (ro *Roller) CountOver(name string, window time.Duration, threshold int64) (over, total int64) {
+	if ro == nil {
+		return 0, 0
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	w := ro.windowTicks(window)
+	if w == 0 {
+		return 0, 0
+	}
+	newSlot, oldSlot := ro.slotAt(0), ro.slotAt(w)
+	for _, rh := range ro.hists {
+		if rh.name != name {
+			continue
+		}
+		for b := 0; b < histBuckets; b++ {
+			c := rh.ring[newSlot].buckets[b] - rh.ring[oldSlot].buckets[b]
+			if c <= 0 {
+				continue
+			}
+			total += c
+			lo := int64(0)
+			if b > 0 {
+				lo = histBound(b - 1)
+			}
+			hi := histBound(b)
+			if b == histBuckets-1 {
+				hi = 2 * lo
+			}
+			switch {
+			case threshold <= lo:
+				over += c
+			case threshold >= hi:
+			default:
+				frac := float64(hi-threshold) / float64(hi-lo)
+				over += int64(float64(c)*frac + 0.5)
+			}
+		}
+		return over, total
+	}
+	return 0, 0
+}
+
 // WindowStat is one (window, rate, p50, p99) row of a rolling summary.
 type WindowStat struct {
 	Window time.Duration

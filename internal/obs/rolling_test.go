@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -123,5 +125,155 @@ func TestRollerStatsAndWindowLabel(t *testing.T) {
 		if got := WindowLabel(stats[i].Window); got != want {
 			t.Fatalf("WindowLabel(%v) = %q, want %q", stats[i].Window, got, want)
 		}
+	}
+}
+
+// TestRollerTickWraparound drives the tick counter far past the ring
+// size: windows must keep reading the correct trailing deltas after the
+// ring has wrapped many times over.
+func TestRollerTickWraparound(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	h := r.Histogram("lat")
+	ro := NewRoller(time.Second, 4) // 5 slots; wraps every 5 ticks
+	ro.TrackCounter("x", c)
+	ro.TrackHistogram("lat", h)
+	for i := 0; i < 137; i++ { // 27× around the ring, plus a remainder
+		c.Add(2)
+		h.Observe(4000)
+		ro.Tick()
+	}
+	if got := ro.WindowCount("x", time.Second); got != 2 {
+		t.Fatalf("1s count after wraparound = %d, want 2", got)
+	}
+	if got := ro.WindowCount("x", time.Minute); got != 8 {
+		t.Fatalf("ring-clamped count = %d, want 8 (history=4)", got)
+	}
+	if got := ro.Rate("lat", 2*time.Second); got != 1 {
+		t.Fatalf("hist rate after wraparound = %v, want 1/s", got)
+	}
+	if q := ro.Quantile("lat", time.Second, 0.5); q <= 0 {
+		t.Fatalf("quantile after wraparound = %v, want > 0", q)
+	}
+}
+
+// TestRollerConcurrentTickAndRead races Tick against every read method;
+// run under -race this is the memory-safety proof for the collector
+// goroutine vs /statusz handlers.
+func TestRollerConcurrentTickAndRead(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	h := r.Histogram("lat")
+	ro := NewRoller(time.Second, 8)
+	ro.TrackCounter("x", c)
+	ro.TrackHistogram("lat", h)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Add(1)
+			h.Observe(int64(i%100000 + 1))
+			ro.Tick()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = ro.Rate("x", 3*time.Second)
+			_ = ro.WindowCount("lat", 5*time.Second)
+			_ = ro.Quantile("lat", 3*time.Second, 0.99)
+			_, _ = ro.CountOver("lat", 3*time.Second, 500)
+			_ = ro.Stats("lat")
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestRollerZeroTrafficWindows pins the quiet-server contract: windows
+// with no observations report 0 everywhere — never NaN, never negative.
+func TestRollerZeroTrafficWindows(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	c := r.Counter("x")
+	ro := NewRoller(time.Second, 10)
+	ro.TrackHistogram("lat", h)
+	ro.TrackCounter("x", c)
+	for i := 0; i < 5; i++ {
+		ro.Tick()
+	}
+	checks := map[string]float64{
+		"rate":  ro.Rate("lat", 3*time.Second),
+		"p50":   ro.Quantile("lat", 3*time.Second, 0.5),
+		"p99":   ro.Quantile("lat", 3*time.Second, 0.99),
+		"count": float64(ro.WindowCount("x", 3*time.Second)),
+	}
+	for name, v := range checks {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("zero-traffic %s = %v, want 0", name, v)
+		}
+	}
+	over, total := ro.CountOver("lat", 3*time.Second, 100)
+	if over != 0 || total != 0 {
+		t.Fatalf("zero-traffic CountOver = %d/%d, want 0/0", over, total)
+	}
+	for _, st := range ro.Stats("lat") {
+		if math.IsNaN(st.Rate) || math.IsNaN(st.P50) || math.IsNaN(st.P99) {
+			t.Fatalf("NaN in zero-traffic stats row: %+v", st)
+		}
+	}
+}
+
+func TestRollerCountOver(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	ro := NewRoller(time.Second, 10)
+	ro.TrackHistogram("lat", h)
+	ro.Tick()
+	for i := 0; i < 30; i++ {
+		h.Observe(500) // bucket [0, 1024)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20) // far above any small threshold
+	}
+	ro.Tick()
+
+	// Threshold above the fast bucket, below the slow one: exactly the
+	// slow observations count.
+	over, total := ro.CountOver("lat", time.Second, 10_000)
+	if total != 40 || over != 10 {
+		t.Fatalf("CountOver(10k) = %d/%d, want 10/40", over, total)
+	}
+	// Threshold 0: everything is over.
+	if over, _ := ro.CountOver("lat", time.Second, 0); over != 40 {
+		t.Fatalf("CountOver(0) = %d, want 40", over)
+	}
+	// Threshold straddling the fast bucket interpolates linearly:
+	// 512 is halfway through [0, 1024) → about half of 30, plus all 10 slow.
+	over, _ = ro.CountOver("lat", time.Second, 512)
+	if over < 20 || over > 30 {
+		t.Fatalf("CountOver(512) = %d, want ≈25 (interpolated)", over)
+	}
+	// Unknown names and nil rollers are zeros.
+	if o, tt := ro.CountOver("nope", time.Second, 1); o != 0 || tt != 0 {
+		t.Fatalf("unknown name CountOver = %d/%d", o, tt)
+	}
+	var nilRo *Roller
+	if o, tt := nilRo.CountOver("lat", time.Second, 1); o != 0 || tt != 0 {
+		t.Fatalf("nil roller CountOver = %d/%d", o, tt)
 	}
 }

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// SLO burn-rate engine. An objective declares "fraction of good events
+// ≥ Target" (p99 latency under a bound, error ratio under a budget) or
+// "level below a threshold" (worst model-drift verdict); the engine
+// evaluates every objective over a Roller's short and long trailing
+// windows after each tick. Event objectives use the classic multi-window
+// burn rate
+//
+//	burn = badFraction / (1 − Target)
+//
+// — burn 1 spends the error budget exactly at the sustainable rate, burn
+// 10 spends it 10× too fast. An objective degrades only when *both*
+// windows burn hot: the long window proves the problem is real, the
+// short window proves it is still happening (so recovered incidents
+// clear quickly). Level objectives map the current value through
+// WarnAt/FailAt directly.
+//
+// Evaluations publish obs.slo.burn{objective,window} and
+// obs.slo.state{objective} gauges plus an obs.slo.alerts{objective,state}
+// transition counter, and every state change emits one structured slog
+// event through Logger() ("slo alert" on degrade, "slo recovered" on
+// improve). The engine owns no goroutine: the owner calls Eval after
+// each Roller.Tick.
+
+// SLOState is an objective's (or the whole server's) judged state.
+// Ordered by badness, so the worst of several states is a max.
+type SLOState int
+
+const (
+	SLOOK SLOState = iota
+	SLOWarn
+	SLOFailing
+)
+
+func (s SLOState) String() string {
+	switch s {
+	case SLOWarn:
+		return "warn"
+	case SLOFailing:
+		return "failing"
+	default:
+		return "ok"
+	}
+}
+
+// MarshalJSON renders the state as its string form ("ok", "warn",
+// "failing") for /healthz-style JSON bodies.
+func (s SLOState) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string form back (dashboard clients decode
+// /healthz bodies into the same types the server encodes).
+func (s *SLOState) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"warn"`:
+		*s = SLOWarn
+	case `"failing"`:
+		*s = SLOFailing
+	case `"ok"`:
+		*s = SLOOK
+	default:
+		return fmt.Errorf("obs: unknown SLO state %s", b)
+	}
+	return nil
+}
+
+// WorseSLO returns the worse of two states.
+func WorseSLO(a, b SLOState) SLOState {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// SLOObjective declares one objective. Exactly one of the three shapes
+// applies: latency (Hist + LatencyThreshold), ratio (BadCounter +
+// TotalSource), or level (Gauge + WarnAt/FailAt).
+type SLOObjective struct {
+	Name string
+
+	// Latency shape: bad events are the named tracked histogram's
+	// observations above LatencyThreshold (native unit via the
+	// threshold's nanoseconds).
+	Hist             string
+	LatencyThreshold time.Duration
+
+	// Ratio shape: bad events from the named tracked counter, total
+	// events from TotalSource (a tracked counter or histogram).
+	BadCounter  string
+	TotalSource string
+
+	// Target is the good-event fraction the objective promises, e.g.
+	// 0.99. Required for the event shapes.
+	Target float64
+
+	// Burn thresholds for the event shapes; both windows must exceed
+	// one to change state. Defaults 2 (warn) and 10 (failing).
+	WarnBurn, FailBurn float64
+
+	// Level shape: Gauge is sampled at each Eval; the state is failing
+	// at ≥ FailAt, warn at ≥ WarnAt.
+	Gauge          func() float64
+	WarnAt, FailAt float64
+}
+
+// SLOStatus is one objective's last evaluation.
+type SLOStatus struct {
+	Name      string   `json:"name"`
+	State     SLOState `json:"state"`
+	BurnShort float64  `json:"burn_short"` // event shapes; 0 for levels
+	BurnLong  float64  `json:"burn_long"`
+	// Value is the long-window bad fraction (event shapes) or the
+	// sampled level (level shape).
+	Value float64 `json:"value"`
+}
+
+type sloEntry struct {
+	obj  SLOObjective
+	last SLOState
+}
+
+// SLOEngine evaluates objectives over a Roller. Construct with
+// NewSLOEngine; all methods are safe for concurrent use and nil-safe.
+type SLOEngine struct {
+	ro          *Roller
+	short, long time.Duration
+	shortLbl    string
+	longLbl     string
+
+	mu   sync.Mutex
+	objs []*sloEntry
+	last []SLOStatus
+
+	burn   *GaugeVec   // obs.slo.burn{objective,window}
+	state  *GaugeVec   // obs.slo.state{objective}
+	alerts *CounterVec // obs.slo.alerts{objective,state}
+}
+
+// NewSLOEngine builds an engine over ro evaluating the given short and
+// long windows (<= 0 select 10 s and 60 s). Metric families register on
+// the installed registry; with observability disabled the engine still
+// evaluates (verdicts and alerts work, metrics are no-ops).
+func NewSLOEngine(ro *Roller, short, long time.Duration) *SLOEngine {
+	if short <= 0 {
+		short = 10 * time.Second
+	}
+	if long <= 0 {
+		long = 60 * time.Second
+	}
+	e := &SLOEngine{
+		ro: ro, short: short, long: long,
+		shortLbl: WindowLabel(short), longLbl: WindowLabel(long),
+	}
+	if r := Get(); r != nil {
+		e.burn = r.GaugeVec("obs.slo.burn", "objective", "window")
+		e.state = r.GaugeVec("obs.slo.state", "objective")
+		e.alerts = r.CounterVec("obs.slo.alerts", "objective", "state")
+	}
+	return e
+}
+
+// Add registers an objective. Objectives added after evaluations start
+// join at the next Eval.
+func (e *SLOEngine) Add(o SLOObjective) {
+	if e == nil {
+		return
+	}
+	if o.WarnBurn <= 0 {
+		o.WarnBurn = 2
+	}
+	if o.FailBurn <= 0 {
+		o.FailBurn = 10
+	}
+	e.mu.Lock()
+	e.objs = append(e.objs, &sloEntry{obj: o})
+	e.mu.Unlock()
+}
+
+// badFraction returns the objective's bad-event fraction over window.
+// Zero traffic is zero burn: a quiet window cannot violate an SLO.
+func (e *SLOEngine) badFraction(o *SLOObjective, w time.Duration) float64 {
+	switch {
+	case o.Hist != "":
+		over, total := e.ro.CountOver(o.Hist, w, int64(o.LatencyThreshold))
+		if total == 0 {
+			return 0
+		}
+		return float64(over) / float64(total)
+	case o.BadCounter != "":
+		total := e.ro.WindowCount(o.TotalSource, w)
+		if total == 0 {
+			return 0
+		}
+		bad := e.ro.WindowCount(o.BadCounter, w)
+		return float64(bad) / float64(total)
+	}
+	return 0
+}
+
+// Eval re-evaluates every objective, publishes metrics, logs state
+// transitions, and returns the statuses. Call after each Roller.Tick.
+func (e *SLOEngine) Eval() []SLOStatus {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SLOStatus, 0, len(e.objs))
+	for _, ent := range e.objs {
+		o := &ent.obj
+		st := SLOStatus{Name: o.Name}
+		if o.Gauge != nil {
+			st.Value = o.Gauge()
+			switch {
+			case st.Value >= o.FailAt:
+				st.State = SLOFailing
+			case st.Value >= o.WarnAt:
+				st.State = SLOWarn
+			}
+		} else {
+			budget := 1 - o.Target
+			if budget <= 0 {
+				budget = 1e-9
+			}
+			badShort := e.badFraction(o, e.short)
+			badLong := e.badFraction(o, e.long)
+			st.BurnShort = badShort / budget
+			st.BurnLong = badLong / budget
+			st.Value = badLong
+			// Both windows must burn hot: long proves it is real,
+			// short proves it is still happening.
+			worst := st.BurnShort
+			if st.BurnLong < worst {
+				worst = st.BurnLong
+			}
+			switch {
+			case worst >= o.FailBurn:
+				st.State = SLOFailing
+			case worst >= o.WarnBurn:
+				st.State = SLOWarn
+			}
+		}
+		e.burn.With(o.Name, e.shortLbl).Set(st.BurnShort)
+		e.burn.With(o.Name, e.longLbl).Set(st.BurnLong)
+		e.state.With(o.Name).Set(float64(st.State))
+		if st.State != ent.last {
+			e.alerts.With(o.Name, st.State.String()).Add(1)
+			if l := Logger(); l != nil {
+				lvl := slog.LevelInfo
+				msg := "slo recovered"
+				if st.State > ent.last {
+					msg = "slo alert"
+					lvl = slog.LevelWarn
+					if st.State == SLOFailing {
+						lvl = slog.LevelError
+					}
+				}
+				l.Log(context.Background(), lvl, msg,
+					"objective", o.Name,
+					"state", st.State.String(),
+					"prev", ent.last.String(),
+					"burn_"+e.shortLbl, fmt.Sprintf("%.2f", st.BurnShort),
+					"burn_"+e.longLbl, fmt.Sprintf("%.2f", st.BurnLong),
+					"value", st.Value,
+				)
+			}
+			ent.last = st.State
+		}
+		out = append(out, st)
+	}
+	e.last = out
+	return out
+}
+
+// Statuses returns a copy of the last evaluation (nil before the first).
+func (e *SLOEngine) Statuses() []SLOStatus {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SLOStatus, len(e.last))
+	copy(out, e.last)
+	return out
+}
+
+// Health returns the worst objective state as of the last Eval.
+func (e *SLOEngine) Health() SLOState {
+	if e == nil {
+		return SLOOK
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	worst := SLOOK
+	for _, st := range e.last {
+		worst = WorseSLO(worst, st.State)
+	}
+	return worst
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloFixture builds a roller + engine over a fresh registry with a
+// latency histogram and an error counter tracked, using 2 s / 4 s
+// windows so tests need few ticks.
+func sloFixture(t *testing.T) (*Registry, *Roller, *SLOEngine, *Histogram, *Counter) {
+	t.Helper()
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	c := r.Counter("errs")
+	ro := NewRoller(time.Second, 10)
+	ro.TrackHistogram("lat", h)
+	ro.TrackCounter("errs", c)
+	e := NewSLOEngine(ro, 2*time.Second, 4*time.Second)
+	return r, ro, e, h, c
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	_, ro, e, h, _ := sloFixture(t)
+	// p99 < 1ms at target 0.9: error budget is 10%.
+	e.Add(SLOObjective{
+		Name: "lat", Hist: "lat",
+		LatencyThreshold: time.Millisecond, Target: 0.9,
+	})
+	ro.Tick()
+	// 20% of observations over threshold → burn 0.2/0.1 = 2 → warn.
+	for i := 0; i < 80; i++ {
+		h.Observe(1000) // fast: first bucket, well under 1ms
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(int64(10 * time.Millisecond)) // slow
+	}
+	ro.Tick()
+	sts := e.Eval()
+	if len(sts) != 1 {
+		t.Fatalf("statuses = %+v", sts)
+	}
+	st := sts[0]
+	if st.State != SLOWarn {
+		t.Fatalf("state = %v, want warn (burn %v/%v)", st.State, st.BurnShort, st.BurnLong)
+	}
+	if st.BurnShort < 1.5 || st.BurnShort > 2.5 {
+		t.Fatalf("short burn = %v, want ≈2 (bucket interpolation slack)", st.BurnShort)
+	}
+	if st.Value <= 0 {
+		t.Fatalf("value (bad fraction) = %v, want > 0", st.Value)
+	}
+	if e.Health() != SLOWarn {
+		t.Fatalf("health = %v, want warn", e.Health())
+	}
+}
+
+func TestSLOBothWindowsRule(t *testing.T) {
+	_, ro, e, _, c := sloFixture(t)
+	r2 := NewRegistry()
+	total := r2.Counter("total")
+	ro.TrackCounter("total", total)
+	// Error ratio at target 0.5: budget 50%, so an all-errors tick burns 2.
+	e.Add(SLOObjective{
+		Name: "errs", BadCounter: "errs", TotalSource: "total", Target: 0.5,
+	})
+	ro.Tick()
+	// Tick 1: 100% errors — both windows hot → warn.
+	c.Add(10)
+	total.Add(10)
+	ro.Tick()
+	if st := e.Eval()[0]; st.State != SLOWarn {
+		t.Fatalf("after bad tick: %+v, want warn", st)
+	}
+	// Two clean ticks: the 2 s short window is now clean while the 4 s
+	// long window still holds the incident. Both-windows rule: recovers.
+	total.Add(20)
+	ro.Tick()
+	total.Add(20)
+	ro.Tick()
+	st := e.Eval()[0]
+	if st.State != SLOOK {
+		t.Fatalf("after recovery: %+v, want ok (short window clean)", st)
+	}
+	if st.BurnLong <= 0 {
+		t.Fatalf("long burn = %v, want > 0 (incident still in window)", st.BurnLong)
+	}
+	if st.BurnShort != 0 {
+		t.Fatalf("short burn = %v, want 0", st.BurnShort)
+	}
+}
+
+func TestSLOZeroTraffic(t *testing.T) {
+	_, ro, e, _, _ := sloFixture(t)
+	e.Add(SLOObjective{Name: "lat", Hist: "lat", LatencyThreshold: time.Millisecond, Target: 0.99})
+	e.Add(SLOObjective{Name: "errs", BadCounter: "errs", TotalSource: "lat", Target: 0.99})
+	ro.Tick()
+	ro.Tick()
+	for _, st := range e.Eval() {
+		if st.State != SLOOK || st.BurnShort != 0 || st.BurnLong != 0 {
+			t.Fatalf("zero-traffic objective %q: %+v, want ok with zero burn", st.Name, st)
+		}
+	}
+}
+
+func TestSLOGaugeObjective(t *testing.T) {
+	_, ro, e, _, _ := sloFixture(t)
+	level := 0.0
+	e.Add(SLOObjective{
+		Name: "drift", Gauge: func() float64 { return level },
+		WarnAt: 2, FailAt: 3,
+	})
+	ro.Tick()
+	if st := e.Eval()[0]; st.State != SLOOK {
+		t.Fatalf("level 0: %+v", st)
+	}
+	level = 2
+	if st := e.Eval()[0]; st.State != SLOWarn || st.Value != 2 {
+		t.Fatalf("level 2: %+v, want warn", st)
+	}
+	level = 3
+	if st := e.Eval()[0]; st.State != SLOFailing {
+		t.Fatalf("level 3: %+v, want failing", st)
+	}
+	if e.Health() != SLOFailing {
+		t.Fatalf("health = %v", e.Health())
+	}
+}
+
+func TestSLOTransitionsAlertAndRecover(t *testing.T) {
+	Enable()
+	defer Disable()
+	var buf bytes.Buffer
+	SetLogger(slog.New(NewLogHandler(&buf, slog.LevelInfo)))
+	defer SetLogger(nil)
+
+	ro := NewRoller(time.Second, 10)
+	e := NewSLOEngine(ro, 2*time.Second, 4*time.Second)
+	level := 5.0
+	e.Add(SLOObjective{Name: "drift", Gauge: func() float64 { return level }, WarnAt: 2, FailAt: 3})
+
+	e.Eval() // ok → failing: one alert
+	e.Eval() // steady failing: no second alert
+	level = 0
+	e.Eval() // failing → ok: recovered
+
+	logs := buf.String()
+	if n := strings.Count(logs, `"msg":"slo alert"`); n != 1 {
+		t.Fatalf("alert events = %d, want 1:\n%s", n, logs)
+	}
+	if !strings.Contains(logs, `"msg":"slo recovered"`) {
+		t.Fatalf("no recovered event:\n%s", logs)
+	}
+	if !strings.Contains(logs, `"objective":"drift"`) || !strings.Contains(logs, `"prev":"ok"`) {
+		t.Fatalf("alert attrs missing:\n%s", logs)
+	}
+	snap := Get().Snapshot()
+	if snap.Counters[`obs.slo.alerts{objective="drift",state="failing"}`] != 1 {
+		t.Fatalf("alerts counter: %v", snap.Counters)
+	}
+	if snap.Counters[`obs.slo.alerts{objective="drift",state="ok"}`] != 1 {
+		t.Fatalf("recovery counter: %v", snap.Counters)
+	}
+	if v := snap.Gauges[`obs.slo.state{objective="drift"}`]; v != 0 {
+		t.Fatalf("state gauge = %v, want 0 after recovery", v)
+	}
+}
+
+func TestSLONilAndDefaults(t *testing.T) {
+	var e *SLOEngine
+	e.Add(SLOObjective{Name: "x"}) // no panic
+	if e.Eval() != nil || e.Statuses() != nil || e.Health() != SLOOK {
+		t.Fatal("nil engine returned non-zero results")
+	}
+	live := NewSLOEngine(NewRoller(time.Second, 10), 0, 0)
+	if live.short != 10*time.Second || live.long != 60*time.Second {
+		t.Fatalf("default windows = %v/%v", live.short, live.long)
+	}
+	live.Add(SLOObjective{Name: "x", BadCounter: "b", TotalSource: "t", Target: 0.99})
+	if o := live.objs[0].obj; o.WarnBurn != 2 || o.FailBurn != 10 {
+		t.Fatalf("default burns = %v/%v", o.WarnBurn, o.FailBurn)
+	}
+	if len(live.Statuses()) != 0 {
+		t.Fatal("statuses before first Eval should be empty")
+	}
+}
+
+func TestSLOStateJSON(t *testing.T) {
+	out, err := json.Marshal(SLOStatus{Name: "x", State: SLOFailing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"state":"failing"`) {
+		t.Fatalf("marshal: %s", out)
+	}
+	var st SLOStatus
+	if err := json.Unmarshal(out, &st); err != nil || st.State != SLOFailing {
+		t.Fatalf("unmarshal: %+v, %v", st, err)
+	}
+	var bad SLOState
+	if err := json.Unmarshal([]byte(`"bogus"`), &bad); err == nil {
+		t.Fatal("unknown state should error")
+	}
+	if WorseSLO(SLOWarn, SLOOK) != SLOWarn || WorseSLO(SLOOK, SLOFailing) != SLOFailing {
+		t.Fatal("WorseSLO ordering")
+	}
+}

@@ -82,6 +82,12 @@ func DefaultThresholds() Thresholds {
 			// like pool_utilization. The cumulative serve.* counters and
 			// histograms they are derived from gate normally.
 			"serve.win",
+			// SLO burn rates and drift scorecards: derived from the same
+			// rolling windows (burn) or from how many requests a timing-
+			// dependent sampler happened to score (drift windows, NLL
+			// means over them), so they cannot gate either. Deterministic
+			// drift numbers gate through the bench fidelity records.
+			"obs.slo", "serve.drift",
 		},
 	}
 }

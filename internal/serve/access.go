@@ -39,6 +39,37 @@ const RequestIDHeader = "X-Request-Id"
 // bloat logs or spans.
 const maxRequestIDLen = 128
 
+// sanitizeRequestID vets a client-supplied request ID before it is
+// echoed into the response header, the structured access log and trace
+// span args: over-long values are rejected outright (no truncation — a
+// partial hostile ID is still hostile), and bytes outside the visible
+// ASCII range (controls, spaces, DEL, non-ASCII) are stripped so a
+// crafted header cannot inject line breaks or escape sequences into a
+// log lane. Returns "" when nothing usable survives; the caller then
+// generates an ID. Clean IDs return as-is without allocating.
+func sanitizeRequestID(id string) string {
+	if len(id) > maxRequestIDLen {
+		return ""
+	}
+	clean := true
+	for i := 0; i < len(id); i++ {
+		if id[i] <= 0x20 || id[i] >= 0x7f {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return id
+	}
+	b := make([]byte, 0, len(id))
+	for i := 0; i < len(id); i++ {
+		if id[i] > 0x20 && id[i] < 0x7f {
+			b = append(b, id[i])
+		}
+	}
+	return string(b)
+}
+
 // reqMeta accumulates one request's observability state as it flows
 // through the serving path. All methods are nil-receiver-safe, so
 // layers below the middleware never guard.
@@ -185,8 +216,8 @@ func newIDPrefix() string {
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		seq := s.reqSeq.Add(1)
-		id := r.Header.Get(RequestIDHeader)
-		if id == "" || len(id) > maxRequestIDLen {
+		id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if id == "" {
 			id = s.newRequestID(seq)
 		}
 		w.Header().Set(RequestIDHeader, id)

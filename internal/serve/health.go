@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"ibox/internal/obs"
+)
+
+// /healthz and /readyz. Both return real JSON bodies (uptime, Go
+// version, VCS revision from the build info) instead of bare 200s.
+// /healthz reports the server's judged health — the worst of the SLO
+// engine's objectives and the worst model-drift verdict — and degrades
+// ok → warn → failing; failing answers 503 so a naive probe that only
+// reads the status code still reacts. ?format=json adds the per-
+// objective SLO statuses and per-model drift scorecards. /readyz stays
+// purely a load-balancer signal: 503 while draining, 200 otherwise.
+
+// HealthStatus is the body of GET /healthz.
+type HealthStatus struct {
+	Status    obs.SLOState `json:"status"` // "ok" | "warn" | "failing"
+	UptimeS   float64      `json:"uptime_s"`
+	GoVersion string       `json:"go_version"`
+	Revision  string       `json:"vcs_revision,omitempty"`
+	Draining  bool         `json:"draining,omitempty"`
+
+	// Detail (?format=json only).
+	SLO   []obs.SLOStatus `json:"slo,omitempty"`
+	Drift []DriftStatus   `json:"drift,omitempty"`
+}
+
+// ReadyStatus is the body of GET /readyz.
+type ReadyStatus struct {
+	Ready     bool    `json:"ready"`
+	Draining  bool    `json:"draining"`
+	UptimeS   float64 `json:"uptime_s"`
+	GoVersion string  `json:"go_version"`
+	Revision  string  `json:"vcs_revision,omitempty"`
+}
+
+// buildRevision reads the VCS revision stamped into the binary, once.
+// Empty when built outside a repository (tests, go run of a dirty tree).
+var buildRevision = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, modified := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if rev != "" && modified {
+		rev += "-dirty"
+	}
+	return rev
+})
+
+// Health judges the server's current health: the worst of the SLO
+// engine's last evaluation and the worst model-drift verdict. The drift
+// side works even with observability disabled (no engine), so a drifted
+// model degrades /healthz regardless.
+func (s *Server) Health() obs.SLOState {
+	st := s.slo.Health()
+	switch s.worstDrift() {
+	case obs.DriftFailing:
+		st = obs.WorseSLO(st, obs.SLOFailing)
+	case obs.DriftWarn:
+		st = obs.WorseSLO(st, obs.SLOWarn)
+	}
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hs := HealthStatus{
+		Status:    s.Health(),
+		UptimeS:   time.Since(s.started).Seconds(),
+		GoVersion: runtime.Version(),
+		Revision:  buildRevision(),
+		Draining:  s.draining.Load(),
+	}
+	if r.URL.Query().Get("format") == "json" {
+		hs.SLO = s.slo.Statuses()
+		hs.Drift = s.DriftStatuses()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hs.Status == obs.SLOFailing {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(hs)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	draining := s.draining.Load()
+	rs := ReadyStatus{
+		Ready:     !draining,
+		Draining:  draining,
+		UptimeS:   time.Since(s.started).Seconds(),
+		GoVersion: runtime.Version(),
+		Revision:  buildRevision(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(rs)
+}

@@ -60,6 +60,28 @@ type Config struct {
 	// Chrome trace JSON. 0 disables sampling; sampling is deterministic
 	// (every round(1/TraceSample)-th request), not random.
 	TraceSample float64
+	// DriftEvery re-scores every Nth eligible iBoxML replay request
+	// (one whose input carries observed delays) into the model's drift
+	// sketch. 0 selects the default 8; negative disables drift
+	// detection. See drift.go.
+	DriftEvery int
+	// DriftPolicy tolerances judge streaming sketches against the
+	// artifact's embedded calibration baseline; zero fields select
+	// obs.DriftPolicy defaults.
+	DriftPolicy obs.DriftPolicy
+	// Quarantine returns 503 for models whose drift verdict is failing
+	// (healthy models keep serving). Off by default: drift then only
+	// degrades /healthz, /statusz and the serve.drift.* metrics.
+	Quarantine bool
+	// SLOLatency is the latency bound of the "latency_p99" SLO
+	// objective; default 1s.
+	SLOLatency time.Duration
+	// SLOLatencyTarget is the fraction of requests that must finish
+	// under SLOLatency; default 0.99.
+	SLOLatencyTarget float64
+	// SLOErrorTarget is the fraction of requests that must not error;
+	// default 0.99.
+	SLOErrorTarget float64
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +108,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.SLOLatency <= 0 {
+		c.SLOLatency = time.Second
+	}
+	if c.SLOLatencyTarget <= 0 || c.SLOLatencyTarget >= 1 {
+		c.SLOLatencyTarget = 0.99
+	}
+	if c.SLOErrorTarget <= 0 || c.SLOErrorTarget >= 1 {
+		c.SLOErrorTarget = 0.99
 	}
 	return c
 }
@@ -166,12 +197,26 @@ type Server struct {
 	reqSeq      atomic.Uint64
 	sampleEvery uint64
 
-	// Rolling-window collector (statusz.go).
+	// Rolling-window collector (statusz.go) and SLO engine.
 	roller   *obs.Roller
 	win      winGauges
+	slo      *obs.SLOEngine
 	rollStop chan struct{}
 	rollDone chan struct{}
 	rollOnce sync.Once
+
+	// Online drift detection (drift.go).
+	driftMu     sync.Mutex
+	drifts      map[string]*modelDrift
+	driftPolicy obs.DriftPolicy
+	driftEvery  uint64 // 0 = disabled
+
+	driftState   *obs.GaugeVec   // serve.drift.state{model}
+	driftNLL     *obs.GaugeVec   // serve.drift.nll{model}
+	driftPITDev  *obs.GaugeVec   // serve.drift.pit_deviation{model}
+	driftWindows *obs.GaugeVec   // serve.drift.windows{model}
+	driftScored  *obs.Counter    // serve.drift.scored
+	quarantined  *obs.CounterVec // serve.drift.quarantined{model}
 }
 
 // NewServer builds a server over cfg.ModelDir. The directory must exist.
@@ -216,24 +261,21 @@ func NewServer(cfg Config) (*Server, error) {
 		s.shedByReason = r.CounterVec("serve.shed_reason", "reason")
 		s.httpLatency = r.Histogram("serve.http_request_ns")
 		s.queueWait = r.Histogram("serve.queue_wait_ns")
+		s.driftState = r.GaugeVec("serve.drift.state", "model")
+		s.driftNLL = r.GaugeVec("serve.drift.nll", "model")
+		s.driftPITDev = r.GaugeVec("serve.drift.pit_deviation", "model")
+		s.driftWindows = r.GaugeVec("serve.drift.windows", "model")
+		s.driftScored = r.Counter("serve.drift.scored")
+		s.quarantined = r.CounterVec("serve.drift.quarantined", "model")
 	}
+	s.driftInit()
 	s.startRolling()
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.admit(s.handleSimulate)))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
 	s.mux.Handle("GET /metrics", obs.PrometheusHandler())
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.draining.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ready")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if cfg.Debug {
 		s.mux.Handle("/debug/", DebugMux())
 	}
@@ -409,6 +451,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// cap in obs is the backstop for large-but-legitimate model dirs).
 	m.setModel(model.ID)
 
+	// Quarantine: a model judged drift-failing stops serving while the
+	// rest keep going. Opt-in — see Config.Quarantine and drift.go.
+	if s.cfg.Quarantine && s.driftVerdict(model.ID) == obs.DriftFailing {
+		s.quarantined.With(model.ID).Add(1)
+		m.setShed("quarantine")
+		s.shedByReason.With("quarantine").Add(1)
+		s.writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("serve: model %s quarantined: drift verdict failing", model.ID))
+		return
+	}
+
 	var out *trace.Trace
 	batchSize := 0
 	ssp := m.childSpan("simulate")
@@ -496,21 +549,27 @@ func (s *Server) simulateML(ctx context.Context, model *Model, req *SimulateRequ
 	if err := req.Input.Validate(); err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
-	if req.Hierarchical {
-		var out *trace.Trace
-		err := s.pool.Do(ctx, func() error {
+	var out *trace.Trace
+	var batchSize int
+	var err error
+	switch {
+	case req.Hierarchical:
+		err = s.pool.Do(ctx, func() error {
 			out = model.ML.SimulateTraceHierarchical(req.Input, req.Seed)
 			return nil
 		})
-		return out, 0, err
-	}
-	if s.cfg.NoBatch {
-		var out *trace.Trace
-		err := s.pool.Do(ctx, func() error {
+	case s.cfg.NoBatch:
+		err = s.pool.Do(ctx, func() error {
 			out = model.ML.SimulateTrace(req.Input, nil, req.Seed)
 			return nil
 		})
-		return out, 0, err
+	default:
+		out, batchSize, err = s.batch.submit(ctx, model.ML, req.Input, req.Seed)
 	}
-	return s.batch.submit(ctx, model.ML, req.Input, req.Seed)
+	if err == nil {
+		// The replay input carries the observed delays the model should
+		// reproduce — score a sampled fraction into the drift sketch.
+		s.maybeScoreDrift(ctx, model, req.Input)
+	}
+	return out, batchSize, err
 }

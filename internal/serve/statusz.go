@@ -59,6 +59,24 @@ func (s *Server) startRolling() {
 	s.win.shed = r.Gauge("serve.win.shed_rate_10s")
 	s.win.errs = r.Gauge("serve.win.err_rate_10s")
 
+	// SLO burn-rate engine over the same roller: p99 latency, error
+	// ratio, and the worst model-drift verdict as a level objective.
+	// Evaluated on every tick; /healthz degrades from its worst state.
+	s.slo = obs.NewSLOEngine(s.roller, 10*time.Second, 60*time.Second)
+	s.slo.Add(obs.SLOObjective{
+		Name: "latency_p99", Hist: "request_ns",
+		LatencyThreshold: s.cfg.SLOLatency, Target: s.cfg.SLOLatencyTarget,
+	})
+	s.slo.Add(obs.SLOObjective{
+		Name: "error_ratio", BadCounter: "errors", TotalSource: "request_ns",
+		Target: s.cfg.SLOErrorTarget,
+	})
+	s.slo.Add(obs.SLOObjective{
+		Name:   "drift",
+		Gauge:  func() float64 { return float64(s.worstDrift()) },
+		WarnAt: float64(obs.DriftWarn), FailAt: float64(obs.DriftFailing),
+	})
+
 	s.rollStop = make(chan struct{})
 	s.rollDone = make(chan struct{})
 	go func() {
@@ -87,6 +105,8 @@ func (s *Server) rollTick() {
 	s.win.p99.Set(s.roller.Quantile("request_ns", 10*time.Second, 0.99))
 	s.win.shed.Set(s.roller.Rate("shed", 10*time.Second))
 	s.win.errs.Set(s.roller.Rate("errors", 10*time.Second))
+	s.publishDrift()
+	s.slo.Eval()
 }
 
 // stopRolling stops the collector; safe to call multiple times (tests
@@ -115,6 +135,11 @@ type LoadStats struct {
 	P99Ms10s     float64 `json:"p99_ms_10s"`
 	ShedRate10s  float64 `json:"shed_rate_10s"`
 	ErrRate10s   float64 `json:"err_rate_10s"`
+	// Health is the judged health ("ok"/"warn"/"failing") and
+	// ModelsDrifted the count of models at warn or worse — a router
+	// steers traffic away from drifted backends on these.
+	Health        string `json:"health"`
+	ModelsDrifted int    `json:"models_drifted"`
 }
 
 // LoadStats snapshots the server's current load signal.
@@ -134,6 +159,8 @@ func (s *Server) LoadStats() LoadStats {
 		ls.ShedRate10s = s.roller.Rate("shed", 10*time.Second)
 		ls.ErrRate10s = s.roller.Rate("errors", 10*time.Second)
 	}
+	ls.Health = s.Health().String()
+	ls.ModelsDrifted = s.driftedModels()
 	return ls
 }
 
@@ -149,9 +176,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	var b strings.Builder
 	fmt.Fprintf(&b, "ibox-serve statusz\n")
-	fmt.Fprintf(&b, "uptime: %.1fs  draining: %v\n", ls.UptimeS, ls.Draining)
-	fmt.Fprintf(&b, "inflight: %d/%d  queued: %d/%d  models loaded: %d\n\n",
-		ls.Inflight, s.cfg.MaxConcurrent, ls.QueueDepth, s.cfg.MaxQueue, ls.ModelsLoaded)
+	fmt.Fprintf(&b, "uptime: %.1fs  draining: %v  health: %s\n", ls.UptimeS, ls.Draining, ls.Health)
+	fmt.Fprintf(&b, "inflight: %d/%d  queued: %d/%d  models loaded: %d  drifted: %d\n\n",
+		ls.Inflight, s.cfg.MaxConcurrent, ls.QueueDepth, s.cfg.MaxQueue, ls.ModelsLoaded, ls.ModelsDrifted)
 
 	if s.roller != nil {
 		fmt.Fprintf(&b, "%-8s %12s %10s %12s %12s\n", "window", "req/s", "count", "p50", "p99")
@@ -162,6 +189,24 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 				time.Duration(st.P99).Round(time.Microsecond))
 		}
 		fmt.Fprintf(&b, "\nshed: %.2f/s (10s)  errors: %.2f/s (10s)\n", ls.ShedRate10s, ls.ErrRate10s)
+	}
+
+	if sts := s.slo.Statuses(); len(sts) > 0 {
+		fmt.Fprintf(&b, "\nslo objectives:\n")
+		fmt.Fprintf(&b, "  %-14s %-8s %10s %10s %10s\n", "objective", "state", "burn10s", "burn60s", "value")
+		for _, st := range sts {
+			fmt.Fprintf(&b, "  %-14s %-8s %10.2f %10.2f %10.4f\n",
+				st.Name, st.State, st.BurnShort, st.BurnLong, st.Value)
+		}
+	}
+
+	if ds := s.DriftStatuses(); len(ds) > 0 {
+		fmt.Fprintf(&b, "\nmodel drift:\n")
+		fmt.Fprintf(&b, "  %-24s %-8s %8s %10s %10s\n", "model", "verdict", "windows", "nll", "pit_dev")
+		for _, d := range ds {
+			fmt.Fprintf(&b, "  %-24s %-8s %8d %10.4f %10.4f\n",
+				d.Model, d.Verdict, d.Windows, d.NLL, d.PITDeviation)
+		}
 	}
 
 	if reg := obs.Get(); reg != nil {
