@@ -2,7 +2,7 @@
 // paths and writes a machine-readable summary in the internal/regress
 // schema, so ibox-compare can gate on it in CI.
 //
-// Six suites:
+// Seven suites:
 //
 //   - experiments (default): serial-vs-parallel wall-clock of the two
 //     hottest experiment paths — the Fig 2 ensemble test (per-trace
@@ -41,6 +41,11 @@
 //     drift scoring off vs on at the production sampling rate, plus the
 //     deterministic streaming NLL / PIT-deviation scorecard over the
 //     bench input attached as the fidelity record.
+//   - session: the live-session control plane. A create/stream/mutate/
+//     close burst of concurrent sessions through the full HTTP + SSE
+//     path, then a 1000-idle-session population check at the manager
+//     layer: heap bytes per idle session (hard cap 1 MiB) and the wall
+//     time for the idle-TTL reaper to empty it.
 //
 // Usage:
 //
@@ -51,6 +56,7 @@
 //	ibox-bench -suite kernel           # BENCH_kernel.json
 //	ibox-bench -suite obs              # BENCH_obs.json
 //	ibox-bench -suite drift            # BENCH_drift.json
+//	ibox-bench -suite session          # BENCH_session.json
 package main
 
 import (
@@ -86,7 +92,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ibox-bench: ")
 	var (
-		suite     = flag.String("suite", "experiments", "benchmark suite: experiments, serve, nested, kernel, obs or drift")
+		suite     = flag.String("suite", "experiments", "benchmark suite: experiments, serve, nested, kernel, obs, drift or session")
 		scaleName = flag.String("scale", "quick", "experiment scale: quick or paper (experiments suite)")
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		reps      = flag.Int("reps", 5, "repetitions per (benchmark, mode); the minimum is reported")
@@ -126,6 +132,11 @@ func main() {
 			*out = "BENCH_drift.json"
 		}
 		sum = driftSuite(*seed, *reps)
+	case "session":
+		if *out == "" {
+			*out = "BENCH_session.json"
+		}
+		sum = sessionSuite(*seed, *reps)
 	default:
 		log.Fatalf("unknown suite %q", *suite)
 	}

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ibox/internal/iboxnet"
+	"ibox/internal/par"
+	"ibox/internal/regress"
+	"ibox/internal/serve"
+	"ibox/internal/session"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// sessionSuite measures the live-session control plane (internal/session
+// + the /v1/sessions routes) in two parts:
+//
+//   - SessionBurst/burst8 "live": eight concurrent sessions driven
+//     through the full HTTP front door — create, attach to the SSE
+//     telemetry stream, read 150 events, mutate the live path
+//     (bandwidth ×0.5 + a loss burst), read the mutation echo plus 50
+//     more events, close, and drain the stream to its terminal frame.
+//     The burst wall time gates in CI; the aggregate SSE event rate
+//     rides along informationally.
+//
+//   - SessionIdle/idle1000 "create"/"reap": a thousand paused sessions
+//     at the manager layer — the population the idle-TTL reaper exists
+//     for. The suite hard-fails if an idle session holds more than 1 MiB
+//     of heap (a session leak) or if the reaper fails to empty the
+//     population; per-session create cost and total reap wall time gate,
+//     heap bytes per idle session ride along informationally.
+func sessionSuite(seed int64, reps int) regress.BenchSummary {
+	sum := regress.BenchSummary{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      "session",
+		Seed:       seed,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Speedups:   map[string]float64{},
+	}
+	sessionBurst(&sum, seed, reps)
+	sessionIdleReap(&sum, seed)
+	return sum
+}
+
+// benchPathParams is the learnt path the bench sessions emulate: 10 Mbps,
+// 20 ms, a 30 kB buffer, and a gentle cross-traffic ramp (the serve test
+// path, so the workload shape is pinned).
+func benchPathParams() iboxnet.Params {
+	ct := trace.NewSeries(0, 100*sim.Millisecond, 20)
+	for i := range ct.Vals {
+		ct.Vals[i] = float64(500 * i)
+	}
+	return iboxnet.Params{
+		Bandwidth:    1.25e6,
+		PropDelay:    20 * sim.Millisecond,
+		BufferBytes:  30_000,
+		CrossTraffic: ct,
+		LossRate:     0.01,
+	}
+}
+
+func sessionBurst(sum *regress.BenchSummary, seed int64, reps int) {
+	dir, err := os.MkdirTemp("", "ibox-bench-session")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	const id = "bench-path.json"
+	if err := benchPathParams().Save(dir + "/" + id); err != nil {
+		log.Fatal(err)
+	}
+
+	const burst = 8
+	s, err := serve.NewServer(serve.Config{
+		ModelDir:    dir,
+		MaxSessions: 4 * burst,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	name := fmt.Sprintf("SessionBurst/burst%d", burst)
+	var totalEvents atomic.Int64
+	fire := func() time.Duration {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				totalEvents.Add(driveSession(ts.URL, name, id, seed+int64(i)))
+			}(i)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	fire() // warm-up: model load, pool spin-up, HTTP keep-alives
+	totalEvents.Store(0)
+	var min, total time.Duration
+	for r := 0; r < reps; r++ {
+		d := fire()
+		total += d
+		if r == 0 || d < min {
+			min = d
+		}
+	}
+	sum.Benchmarks = append(sum.Benchmarks, regress.BenchMeasurement{
+		Name: name, Mode: "live", Workers: runtime.GOMAXPROCS(0),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NsPerOp:    min.Nanoseconds(), Seconds: min.Seconds(), Reps: reps,
+	})
+	rate := float64(totalEvents.Load()) / total.Seconds()
+	sum.Speedups[name+"/events_per_s"] = rate
+	fmt.Printf("%-24s %-10s %12d ns/burst  (%.3fs, %.0f SSE events/s)\n",
+		name, "live", min.Nanoseconds(), min.Seconds(), rate)
+
+	// The suite must leave the population empty: every driver closed its
+	// session and drained the terminal frame.
+	if n := s.LoadStats().SessionsActive; n != 0 {
+		log.Fatalf("%s: %d sessions still active after the burst", name, n)
+	}
+}
+
+// driveSession runs one session's full create → stream → mutate → close
+// lifecycle through the HTTP API and returns how many SSE events it read.
+func driveSession(base, name, model string, seed int64) int64 {
+	body, _ := json.Marshal(serve.SessionRequest{
+		Model: model, Protocol: "cubic", Seed: seed,
+		// Fast-forwarded 50× against a 10-minute virtual bound (12 wall
+		// seconds): the session visibly runs but cannot complete
+		// mid-benchmark, so the mutation always lands on a live path.
+		Speed: 50, DurationS: 600,
+	})
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("%s: create: %v", name, err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		log.Fatalf("%s: create: HTTP %d", name, resp.StatusCode)
+	}
+	var sr serve.SessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		log.Fatalf("%s: create: %v", name, err)
+	}
+	resp.Body.Close()
+
+	stream, err := http.Get(base + sr.EventsURL)
+	if err != nil {
+		log.Fatalf("%s: events: %v", name, err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	events := int64(0)
+	readEvents := func(n int, untilMutate bool) {
+		sawMutate := false
+		for (n > 0 || (untilMutate && !sawMutate)) && sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "data: ") {
+				events++
+				n--
+				if strings.Contains(line, `"type":"mutate"`) {
+					sawMutate = true
+				}
+			}
+		}
+	}
+	readEvents(150, false)
+
+	loss := 0.1
+	mbody, _ := json.Marshal(serve.PathRequest{
+		Mutation: session.Mutation{BandwidthScale: 0.5, LossRate: &loss, LossBurstS: 5},
+	})
+	mresp, err := http.Post(base+"/v1/sessions/"+sr.Session.ID+"/path", "application/json", bytes.NewReader(mbody))
+	if err != nil {
+		log.Fatalf("%s: mutate: %v", name, err)
+	}
+	io.Copy(io.Discard, mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: mutate: HTTP %d", name, mresp.StatusCode)
+	}
+	readEvents(50, true)
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+sr.Session.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("%s: close: %v", name, err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: close: HTTP %d", name, dresp.StatusCode)
+	}
+	// Drain to the terminal frame so the subscription detaches cleanly.
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: end") {
+			break
+		}
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			events++
+		}
+	}
+	return events
+}
+
+// sessionIdleReap measures the idle population: create 1000 paused
+// sessions at the manager layer, check their heap cost, and time the
+// idle-TTL reaper emptying them. Runs once (a population check, not a
+// hot loop, so reps don't apply).
+func sessionIdleReap(sum *regress.BenchSummary, seed int64) {
+	const n = 1000
+	pool := par.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	m := session.NewManager(session.Limits{
+		MaxSessions:  n + 10,
+		MaxPerTenant: n + 10,
+		TTL:          250 * time.Millisecond,
+		ReapEvery:    25 * time.Millisecond,
+	}, pool)
+	defer m.Shutdown()
+
+	name := fmt.Sprintf("SessionIdle/idle%d", n)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		s, err := m.Create(session.Config{
+			Kind:     session.KindIBoxNet,
+			Net:      benchPathParams(),
+			Protocol: "cubic",
+			Seed:     seed + int64(i),
+			RingSize: 256,
+		})
+		if err != nil {
+			log.Fatalf("%s: create %d: %v", name, i, err)
+		}
+		if err := s.Pause(); err != nil {
+			log.Fatalf("%s: pause %d: %v", name, i, err)
+		}
+	}
+	createDur := time.Since(start)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	perSession := float64(after.HeapAlloc-before.HeapAlloc) / n
+	if perSession > 1<<20 {
+		log.Fatalf("%s: %.0f heap bytes per idle session, want < 1 MiB — session state leak", name, perSession)
+	}
+
+	// The TTL clock started at each session's last interaction (the
+	// pause); the reaper must empty the population on its own.
+	reapStart := time.Now()
+	for m.Active() > 0 {
+		if time.Since(reapStart) > 30*time.Second {
+			log.Fatalf("%s: reaper left %d of %d sessions after 30s", name, m.Active(), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	reapDur := time.Since(reapStart)
+
+	sum.Benchmarks = append(sum.Benchmarks,
+		regress.BenchMeasurement{
+			Name: name, Mode: "create", Workers: runtime.GOMAXPROCS(0),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NsPerOp:    createDur.Nanoseconds() / n, Seconds: createDur.Seconds(), Reps: 1,
+		},
+		regress.BenchMeasurement{
+			Name: name, Mode: "reap", Workers: runtime.GOMAXPROCS(0),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NsPerOp:    reapDur.Nanoseconds(), Seconds: reapDur.Seconds(), Reps: 1,
+		},
+	)
+	sum.Speedups[name+"/heap_bytes_per_session"] = perSession
+	fmt.Printf("%-24s %-10s %12d ns/session (%.3fs for %d)\n", name, "create", createDur.Nanoseconds()/n, createDur.Seconds(), n)
+	fmt.Printf("%-24s %-10s %12d ns total   (%.3fs, %.0f heap B/session)\n", name, "reap", reapDur.Nanoseconds(), reapDur.Seconds(), perSession)
+}

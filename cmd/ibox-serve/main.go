@@ -19,6 +19,13 @@
 //	curl localhost:8080/statusz        # rolling-window load view
 //	curl localhost:8080/healthz?format=json  # judged health + SLO + drift
 //
+// Live emulation sessions (DESIGN.md "Session control plane"): create a
+// stateful closed-loop emulation with POST /v1/sessions, stream its
+// telemetry with `curl -N .../events` (SSE), and mutate the live path
+// (POST .../path) like tc. -max-sessions / -max-sessions-per-tenant cap
+// concurrency, -session-ttl reaps idle sessions, and -session-state
+// checkpoints live sessions to disk during graceful drain.
+//
 // Model-health observability (DESIGN.md "Model-health observability"):
 // replay requests with observed delays are sampled for online drift
 // scoring against each checkpoint's embedded calibration baseline
@@ -74,6 +81,10 @@ func main() {
 		sloLatency   = flag.Duration("slo-latency", time.Second, "latency SLO threshold: this fraction of requests must finish under it")
 		sloLatPct    = flag.Float64("slo-latency-target", 0.99, "good-event fraction the latency SLO promises")
 		sloErrPct    = flag.Float64("slo-error-target", 0.99, "non-error fraction the error-ratio SLO promises")
+		maxSessions  = flag.Int("max-sessions", 0, "max live emulation sessions across all tenants; 0 = default 256")
+		maxSessTen   = flag.Int("max-sessions-per-tenant", 0, "max live sessions per tenant; 0 = the global cap")
+		sessionTTL   = flag.Duration("session-ttl", 0, "reap sessions idle this long (no events read, no mutations); 0 = default 15m, negative disables")
+		sessionState = flag.String("session-state", "", "checkpoint live-session state to this file during graceful drain")
 	)
 	flag.Parse()
 
@@ -98,23 +109,27 @@ func main() {
 	}
 
 	s, err := serve.NewServer(serve.Config{
-		ModelDir:         *modelDir,
-		MaxModels:        *maxModels,
-		Workers:          *workers,
-		BatchWindow:      *batchWindow,
-		BatchMax:         *batchMax,
-		NoBatch:          *noBatch,
-		MaxConcurrent:    *maxConc,
-		MaxQueue:         *maxQueue,
-		MaxBodyBytes:     *maxBody,
-		DefaultTimeout:   *timeout,
-		Debug:            *debug,
-		TraceSample:      *traceSample,
-		DriftEvery:       *driftEvery,
-		Quarantine:       *quarantine,
-		SLOLatency:       *sloLatency,
-		SLOLatencyTarget: *sloLatPct,
-		SLOErrorTarget:   *sloErrPct,
+		ModelDir:             *modelDir,
+		MaxModels:            *maxModels,
+		Workers:              *workers,
+		BatchWindow:          *batchWindow,
+		BatchMax:             *batchMax,
+		NoBatch:              *noBatch,
+		MaxConcurrent:        *maxConc,
+		MaxQueue:             *maxQueue,
+		MaxBodyBytes:         *maxBody,
+		DefaultTimeout:       *timeout,
+		Debug:                *debug,
+		TraceSample:          *traceSample,
+		DriftEvery:           *driftEvery,
+		Quarantine:           *quarantine,
+		SLOLatency:           *sloLatency,
+		SLOLatencyTarget:     *sloLatPct,
+		SLOErrorTarget:       *sloErrPct,
+		MaxSessions:          *maxSessions,
+		MaxSessionsPerTenant: *maxSessTen,
+		SessionTTL:           *sessionTTL,
+		SessionStatePath:     *sessionState,
 	})
 	if err != nil {
 		fatal("startup", err)

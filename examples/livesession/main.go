@@ -1,0 +1,179 @@
+// Live sessions — driving ibox-serve's stateful session control plane.
+//
+// Where examples/serving asks one-shot questions (POST /v1/simulate) and
+// examples/liveemu pushes real UDP datagrams through a learnt path, this
+// example runs a *live closed-loop emulation inside the server*: it fits
+// an iBoxNet model, starts the serving subsystem on loopback, creates a
+// session (POST /v1/sessions), attaches to its Server-Sent-Events
+// telemetry stream, then — mid-flight, like `tc qdisc change` on a real
+// testbed — halves the bottleneck bandwidth and injects a loss burst
+// (POST /v1/sessions/{id}/path) and watches the congestion controller's
+// cwnd react in the stream. Finally it pauses, resumes, and closes the
+// session. See DESIGN.md "Session control plane".
+//
+// Run with: go run ./examples/livesession
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ibox"
+	"ibox/internal/serve"
+	"ibox/internal/session"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Learn a path model and publish it as a serving artifact.
+	fmt.Println("learning an iBoxNet model from a cubic trace on a cellular path...")
+	corpus, err := ibox.GenerateCorpus(ibox.IndiaCellular(), 1, "cubic", 12*ibox.Second, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := ibox.Fit(corpus.Traces[0], ibox.Full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "ibox-livesession")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	const id = "cellular.json"
+	if err := model.Params.Save(filepath.Join(dir, id)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Start the serving subsystem in-process on a loopback listener.
+	srv, err := serve.NewServer(serve.Config{ModelDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	base := "http://" + l.Addr().String()
+	fmt.Println("serving", id, "on", base)
+
+	// 3. Create a session: cubic over the learnt path, fast-forwarded
+	// 50× so the demo finishes quickly, summaries every 200 virtual ms.
+	created := post(base+"/v1/sessions", serve.SessionRequest{
+		Model: id, Protocol: "cubic", Seed: 7, Speed: 50, DurationS: 600,
+		PacketEvery: -1, // summaries only; per-packet telemetry off
+	})
+	var sr serve.SessionResponse
+	mustDecode(created, &sr)
+	fmt.Printf("session %s created (state %s); streaming %s\n",
+		sr.Session.ID, sr.Session.State, sr.EventsURL)
+
+	// 4. Attach to the SSE stream and print the first few summaries.
+	resp, err := http.Get(base + sr.EventsURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	summaries := 0
+	for sc.Scan() && summaries < 8 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev session.Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			log.Fatal(err)
+		}
+		if ev.Type == session.EventSummary {
+			summaries++
+			fmt.Printf("  vt=%5.1fs cwnd=%3d srtt=%6.1fms tput=%5.2f Mbps lost=%d\n",
+				ev.VT, ev.Summary.Cwnd, ev.Summary.SRTTMs,
+				ev.Summary.ThroughputBps/1e6, ev.Summary.Lost)
+		}
+	}
+
+	// 5. Mutate the live path: halve the bandwidth and add a 10-virtual-
+	// second 20% loss burst — tc, but against the learnt model.
+	fmt.Println("mutating path: bandwidth ×0.5 + 20% loss for 10 virtual seconds...")
+	loss := 0.2
+	post(base+"/v1/sessions/"+sr.Session.ID+"/path", serve.PathRequest{
+		Mutation: session.Mutation{BandwidthScale: 0.5, LossRate: &loss, LossBurstS: 10},
+	}).Body.Close()
+
+	// 6. Keep reading: the controller backs off as the narrower, lossy
+	// path bites (the response lags the in-flight tail by a second or two).
+	for sc.Scan() && summaries < 30 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev session.Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			log.Fatal(err)
+		}
+		switch ev.Type {
+		case session.EventMutate:
+			fmt.Printf("  vt=%5.1fs MUTATED: scale=%.2f loss=%.2f for %.0fs\n",
+				ev.VT, ev.Mutation.BandwidthScale, ev.Mutation.LossRate, ev.Mutation.LossBurstS)
+		case session.EventSummary:
+			summaries++
+			fmt.Printf("  vt=%5.1fs cwnd=%3d srtt=%6.1fms tput=%5.2f Mbps lost=%d\n",
+				ev.VT, ev.Summary.Cwnd, ev.Summary.SRTTMs,
+				ev.Summary.ThroughputBps/1e6, ev.Summary.Lost)
+		}
+	}
+
+	// 7. Lifecycle: pause, resume, close.
+	post(base+"/v1/sessions/"+sr.Session.ID+"/pause", nil).Body.Close()
+	fmt.Println("paused; virtual time is frozen while wall time passes")
+	post(base+"/v1/sessions/"+sr.Session.ID+"/resume", nil).Body.Close()
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+sr.Session.ID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var closed serve.SessionResponse
+	mustDecode(del, &closed)
+	fmt.Printf("closed: ran %.1f virtual seconds, emitted %d events, %d mutations\n",
+		closed.Session.VTSeconds, closed.Session.Events, closed.Session.Mutations)
+}
+
+// post sends v as JSON (or an empty body when nil) and fails on non-2xx.
+func post(url string, v any) *http.Response {
+	var body bytes.Buffer
+	if v != nil {
+		if err := json.NewEncoder(&body).Encode(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("%s: HTTP %d: %s", url, resp.StatusCode, e.Error)
+	}
+	return resp
+}
+
+func mustDecode(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

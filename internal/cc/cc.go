@@ -93,6 +93,14 @@ type FlowConfig struct {
 	// acked or declared lost after the flow stopped sending — the moment a
 	// byte-limited transfer is finished.
 	OnComplete func(at sim.Time)
+	// OnAck, when non-nil, observes every acknowledgment the harness
+	// processes, after the sender's own OnAck ran — the per-packet
+	// telemetry tap used by live emulation sessions (internal/session).
+	// The flow's accessors (Inflight, SRTT, …) are valid inside the hook.
+	OnAck func(ack Ack)
+	// OnLossDetected, when non-nil, observes every packet the harness
+	// declares lost (dupack gap or RTO), after the sender's OnLoss ran.
+	OnLossDetected func(at sim.Time, seq int64)
 }
 
 func (c *FlowConfig) withDefaults() FlowConfig {
@@ -191,6 +199,22 @@ func (f *Flow) Trace() *trace.Trace { return &f.trace }
 // Done reports whether the flow has finished sending and has no packets
 // outstanding.
 func (f *Flow) Done() bool { return f.done && f.inflight == 0 }
+
+// Inflight reports the number of packets currently outstanding.
+func (f *Flow) Inflight() int { return f.inflight }
+
+// SRTT reports the current smoothed round-trip estimate (0 before the
+// first ack).
+func (f *Flow) SRTT() sim.Time { return f.srtt }
+
+// DeliveredBytes reports the cumulative bytes acknowledged so far.
+func (f *Flow) DeliveredBytes() int64 { return f.delivered }
+
+// Sent reports how many packets the flow has transmitted so far.
+func (f *Flow) Sent() int64 { return f.nextSeq }
+
+// Sender returns the congestion-control algorithm driving the flow.
+func (f *Flow) Sender() Sender { return f.sender }
 
 // sendingOver reports whether the sending window of the flow has ended.
 func (f *Flow) sendingOver() bool {
@@ -316,6 +340,9 @@ func (f *Flow) onAckArrived(pkt *outPacket, recv sim.Time) {
 		DeliveredAtSend: pkt.delAtSnd, Delivered: f.delivered,
 	}
 	f.sender.OnAck(now, ack)
+	if f.cfg.OnAck != nil {
+		f.cfg.OnAck(ack)
+	}
 	f.detectLosses(now)
 	f.rearmRTO()
 	f.trySend()
@@ -343,6 +370,9 @@ func (f *Flow) detectLosses(now sim.Time) {
 		delete(f.outstanding, seq)
 		f.inflight--
 		f.sender.OnLoss(now, pkt.seq, pkt.sendTime)
+		if f.cfg.OnLossDetected != nil {
+			f.cfg.OnLossDetected(now, pkt.seq)
+		}
 	}
 	// Reclaim consumed prefix occasionally so memory stays bounded.
 	if f.front > 4096 && f.front*2 > len(f.sendOrder) {
@@ -412,6 +442,9 @@ func (f *Flow) onRTO() {
 		delete(f.outstanding, seq)
 		f.inflight--
 		f.sender.OnLoss(now, pkt.seq, pkt.sendTime)
+		if f.cfg.OnLossDetected != nil {
+			f.cfg.OnLossDetected(now, pkt.seq)
+		}
 	}
 	f.trySend()
 	f.maybeComplete()

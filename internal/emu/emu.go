@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -37,11 +38,17 @@ type Config struct {
 	Seed int64
 }
 
-// Stats are the emulator's running counters.
+// Stats are the emulator's running counters. Safe to read concurrently
+// with traffic: every field is published atomically, so Stats never
+// contends with the datapath (and never tears — see TestStatsConcurrent
+// under -race).
 type Stats struct {
 	Received  uint64
 	Delivered uint64
 	Dropped   uint64 // buffer overflow + random loss
+	// QueuedBytes is the simulated bottleneck backlog as of the last
+	// datapath event (admission or cross-traffic injection).
+	QueuedBytes float64
 }
 
 // Emulator is a running instance.
@@ -61,6 +68,7 @@ type Emulator struct {
 	received   atomic.Uint64
 	delivered  atomic.Uint64
 	dropped    atomic.Uint64
+	queuedBits atomic.Uint64 // queuedB as float64 bits, for lock-free Stats
 }
 
 type delivery struct {
@@ -107,12 +115,15 @@ func New(cfg Config) (*Emulator, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (e *Emulator) Addr() *net.UDPAddr { return e.conn.LocalAddr().(*net.UDPAddr) }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Lock-free: it never blocks
+// the datapath, so it is safe to poll from a monitoring goroutine while
+// traffic flows.
 func (e *Emulator) Stats() Stats {
 	return Stats{
-		Received:  e.received.Load(),
-		Delivered: e.delivered.Load(),
-		Dropped:   e.dropped.Load(),
+		Received:    e.received.Load(),
+		Delivered:   e.delivered.Load(),
+		Dropped:     e.dropped.Load(),
+		QueuedBytes: math.Float64frombits(e.queuedBits.Load()),
 	}
 }
 
@@ -180,6 +191,7 @@ func (e *Emulator) admit(pkt []byte) {
 		}
 	}
 	e.queuedB += float64(len(pkt))
+	e.queuedBits.Store(math.Float64bits(e.queuedB))
 	// FIFO delivery time: propagation + serialization of everything ahead
 	// of (and including) this packet.
 	delay := time.Duration(e.cfg.Params.PropDelay) +
@@ -226,6 +238,7 @@ func (e *Emulator) advanceQueue(now time.Time) {
 		}
 	}
 	drainTo(now)
+	e.queuedBits.Store(math.Float64bits(e.queuedB))
 }
 
 // deliverLoop releases packets at their due times. Deliveries are FIFO by

@@ -2,6 +2,7 @@ package emu
 
 import (
 	"context"
+	"math"
 	"net"
 	"sync"
 	"testing"
@@ -263,5 +264,69 @@ func TestEmulatorRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := New(Config{Params: testParams(), Listen: "127.0.0.1:0", Forward: "nonsense::::"}); err == nil {
 		t.Error("bad forward addr accepted")
+	}
+}
+
+// TestStatsConcurrent hammers Stats() from a monitoring goroutine while
+// traffic flows through the datapath. Under -race this proves Stats is
+// lock-free against admit/advanceQueue (the historical hazard: queuedB
+// was read unsynchronized while deliverLoop and admit mutated state).
+// It also checks the snapshot is always coherent: counters monotone,
+// QueuedBytes finite, non-negative, and bounded by the buffer.
+func TestStatsConcurrent(t *testing.T) {
+	s := newSink(t)
+	p := testParams()
+	p.LossRate = 0.05
+	e, stop := startEmu(t, Config{Params: p, Variant: iboxnet.StatLoss, Seed: 7},
+		s.conn.LocalAddr().(*net.UDPAddr))
+	defer stop()
+	src := dialTo(t, e.Addr())
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Sender: blast packets at the emulator for the test duration.
+	go func() {
+		defer wg.Done()
+		pkt := make([]byte, 1200)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				src.Write(pkt)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	// Monitor: poll Stats in a tight loop, checking coherence.
+	go func() {
+		defer wg.Done()
+		var prev Stats
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			st := e.Stats()
+			if st.Received < prev.Received || st.Delivered < prev.Delivered || st.Dropped < prev.Dropped {
+				t.Errorf("counters went backwards: %+v after %+v", st, prev)
+				return
+			}
+			if math.IsNaN(st.QueuedBytes) || st.QueuedBytes < 0 ||
+				st.QueuedBytes > float64(p.BufferBytes) {
+				t.Errorf("incoherent QueuedBytes %v (buffer %d)", st.QueuedBytes, p.BufferBytes)
+				return
+			}
+			prev = st
+		}
+	}()
+
+	time.Sleep(250 * time.Millisecond)
+	close(done)
+	wg.Wait()
+	if st := e.Stats(); st.Received == 0 {
+		t.Errorf("no traffic observed during concurrent run: %+v", st)
 	}
 }

@@ -99,6 +99,22 @@ func (m *Model) ScoreWindows(tr *trace.Trace, ct *trace.Series, fn func(pit, z, 
 	return windows
 }
 
+// ScoreDelay scores one live delay sample d (ms) against a predicted
+// group distribution (mu, sigma, both ms — see
+// HierarchicalPredictor.Group), returning the PIT value and the NLL in
+// the same standardized units as ScoreWindows. This is the per-packet
+// analogue of the per-window scorer, used by the serving tier to drift-
+// score live emulation sessions; unlike ScoreWindows the samples are
+// model-generated rather than observed, so its sketches are a display
+// signal, not a quarantine input.
+func (m *Model) ScoreDelay(mu, sigma, d float64) (pit, nll float64) {
+	if sigma <= 0 {
+		sigma = 1e-9
+	}
+	z := (d - mu) / sigma
+	return stdNormalCDF(z), 0.5*math.Log(2*math.Pi) + math.Log(sigma/m.yStd) + 0.5*z*z
+}
+
 // Calibrate scores the model's Gaussian head on held-out traces: PIT
 // histogram, per-quantile coverage and mean NLL over every observed
 // window. Pure reads — it never mutates the model or any shared state, so

@@ -114,6 +114,13 @@ func (h *HierarchicalPredictor) PacketDelay(sendTime sim.Time, size int) float64
 	return d
 }
 
+// Group returns the current group's predicted delay distribution
+// (mean, sigma in milliseconds) — the reference a live drift scorer
+// compares sampled per-packet delays against.
+func (h *HierarchicalPredictor) Group() (mu, sigma float64) {
+	return h.curMu, h.curSigma
+}
+
 // advanceGroup runs one LSTM step for the group ending at groupEnd and
 // rolls the window forward.
 func (h *HierarchicalPredictor) advanceGroup(now sim.Time) {

@@ -11,5 +11,5 @@ import (
 // tests — a batcher flush stuck on the pool, an admission-gated request
 // never released, or a pool worker Shutdown failed to reap.
 func TestMain(m *testing.M) {
-	os.Exit(leakcheck.Main(m, "ibox/internal/serve", "ibox/internal/par"))
+	os.Exit(leakcheck.Main(m, "ibox/internal/serve", "ibox/internal/session", "ibox/internal/par"))
 }

@@ -20,6 +20,7 @@ import (
 	"ibox/internal/iboxnet"
 	"ibox/internal/obs"
 	"ibox/internal/par"
+	"ibox/internal/session"
 	"ibox/internal/sim"
 	"ibox/internal/trace"
 )
@@ -82,6 +83,19 @@ type Config struct {
 	// SLOErrorTarget is the fraction of requests that must not error;
 	// default 0.99.
 	SLOErrorTarget float64
+	// MaxSessions caps live emulation sessions across all tenants;
+	// default 256 (see sessions.go and internal/session).
+	MaxSessions int
+	// MaxSessionsPerTenant caps live sessions per tenant; default
+	// MaxSessions.
+	MaxSessionsPerTenant int
+	// SessionTTL is the idle deadline for unwatched sessions (no
+	// subscribers, no control-plane interaction); 0 selects 15 minutes,
+	// negative disables reaping.
+	SessionTTL time.Duration
+	// SessionStatePath, when set, receives a JSON checkpoint of every
+	// live session's descriptor at drain, before the sessions stop.
+	SessionStatePath string
 }
 
 func (c Config) withDefaults() Config {
@@ -217,6 +231,14 @@ type Server struct {
 	driftWindows *obs.GaugeVec   // serve.drift.windows{model}
 	driftScored  *obs.Counter    // serve.drift.scored
 	quarantined  *obs.CounterVec // serve.drift.quarantined{model}
+
+	// Live emulation sessions (sessions.go, internal/session).
+	sessions         *session.Manager
+	sessDriftMu      sync.Mutex
+	sessDrifts       map[string]*obs.DriftSketch // display-only live drift
+	sessDriftNLL     *obs.GaugeVec               // serve.session.drift.nll{model}
+	sessDriftPITDev  *obs.GaugeVec               // serve.session.drift.pit_deviation{model}
+	sessDriftSamples *obs.GaugeVec               // serve.session.drift.samples{model}
 }
 
 // NewServer builds a server over cfg.ModelDir. The directory must exist.
@@ -269,6 +291,7 @@ func NewServer(cfg Config) (*Server, error) {
 		s.quarantined = r.CounterVec("serve.drift.quarantined", "model")
 	}
 	s.driftInit()
+	s.sessionsInit()
 	s.startRolling()
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.admit(s.handleSimulate)))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
@@ -301,10 +324,21 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Shutdown drains the server gracefully: readiness flips to 503 so load
 // balancers stop sending traffic, new simulate requests are refused,
-// in-flight requests run to completion (bounded by ctx), then the shared
-// pool stops. Safe to call once.
+// live sessions are checkpointed (when configured) and closed with
+// reason "drain", in-flight requests run to completion (bounded by
+// ctx), then the shared pool stops. Safe to call once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.cfg.SessionStatePath != "" {
+		if cerr := s.sessions.Checkpoint(s.cfg.SessionStatePath); cerr != nil {
+			if l := obs.Logger(); l != nil {
+				l.Error("session checkpoint failed", "path", s.cfg.SessionStatePath, "err", cerr)
+			}
+		}
+	}
+	// Sessions drain before the pool closes so their final ticks still
+	// run on it (they fall back to inline stepping regardless).
+	s.sessions.Shutdown()
 	s.stopRolling()
 	err := s.http.Shutdown(ctx)
 	s.pool.Close()

@@ -106,6 +106,8 @@ func (s *Server) rollTick() {
 	s.win.shed.Set(s.roller.Rate("shed", 10*time.Second))
 	s.win.errs.Set(s.roller.Rate("errors", 10*time.Second))
 	s.publishDrift()
+	s.sessions.PublishStats()
+	s.publishSessionDrift()
 	s.slo.Eval()
 }
 
@@ -140,6 +142,9 @@ type LoadStats struct {
 	// steers traffic away from drifted backends on these.
 	Health        string `json:"health"`
 	ModelsDrifted int    `json:"models_drifted"`
+	// SessionsActive counts live emulation sessions — long-lived load
+	// the one-shot request stats don't see.
+	SessionsActive int `json:"sessions_active"`
 }
 
 // LoadStats snapshots the server's current load signal.
@@ -161,6 +166,7 @@ func (s *Server) LoadStats() LoadStats {
 	}
 	ls.Health = s.Health().String()
 	ls.ModelsDrifted = s.driftedModels()
+	ls.SessionsActive = s.sessions.Active()
 	return ls
 }
 
@@ -206,6 +212,27 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		for _, d := range ds {
 			fmt.Fprintf(&b, "  %-24s %-8s %8d %10.4f %10.4f\n",
 				d.Model, d.Verdict, d.Windows, d.NLL, d.PITDeviation)
+		}
+	}
+
+	lim := s.sessions.Limits()
+	fmt.Fprintf(&b, "\nsessions: %d active (max %d, per-tenant %d, idle ttl %s)\n",
+		ls.SessionsActive, lim.MaxSessions, lim.MaxPerTenant, lim.TTL)
+	if infos := s.sessions.List(); len(infos) > 0 {
+		fmt.Fprintf(&b, "  %-12s %-10s %-16s %-8s %-8s %8s %8s %5s %8s\n",
+			"id", "tenant", "model", "proto", "state", "vt_s", "events", "subs", "idle_s")
+		for _, in := range infos {
+			fmt.Fprintf(&b, "  %-12s %-10s %-16s %-8s %-8s %8.1f %8d %5d %8.1f\n",
+				in.ID, in.Tenant, in.Checkpoint, in.Protocol, in.State,
+				in.VTSeconds, in.Events, in.Subscribers, in.IdleS)
+		}
+	}
+	if sds := s.SessionDriftStatuses(); len(sds) > 0 {
+		fmt.Fprintf(&b, "\nlive-session drift (display-only):\n")
+		fmt.Fprintf(&b, "  %-24s %10s %10s %10s\n", "model", "samples", "nll", "pit_dev")
+		for _, d := range sds {
+			fmt.Fprintf(&b, "  %-24s %10d %10.4f %10.4f\n",
+				d.Model, d.Samples, d.NLL, d.PITDeviation)
 		}
 	}
 

@@ -1,0 +1,87 @@
+package session
+
+// The telemetry stream. A session emits a totally ordered sequence of
+// events; each event is JSON-encoded exactly once, at publish time, and
+// the encoded bytes are what every subscriber sees — so the stream a
+// client receives is byte-identical across runs with the same
+// (checkpoint, sender, seed), whether the session stepped on the shared
+// pool or inline, and regardless of how many subscribers watched or
+// when they attached (modulo the ring buffer's retention window).
+//
+// Event content depends only on *virtual* time: the simulated clock,
+// packet sequence numbers, and sender state. Wall-clock pacing decides
+// when events are published, never what they say.
+
+// Event types.
+const (
+	// EventState marks a lifecycle transition; State carries the new
+	// state and Reason why ("client", "complete", "idle ttl", "drain").
+	EventState = "state"
+	// EventPacket is per-packet telemetry for one acknowledged packet.
+	EventPacket = "packet"
+	// EventLoss reports one packet the transport declared lost.
+	EventLoss = "loss"
+	// EventSummary is the per-RTT-scale rollup (cwnd, inflight,
+	// throughput) emitted every Config.Summary of virtual time.
+	EventSummary = "summary"
+	// EventMutate records a path mutation the session applied.
+	EventMutate = "mutate"
+)
+
+// Event is one telemetry record. Seq is the session-wide sequence
+// number (also the SSE event id); VT is the virtual time in seconds at
+// which the event happened inside the emulation.
+type Event struct {
+	Seq  int64   `json:"seq"`
+	Type string  `json:"type"`
+	VT   float64 `json:"vt"`
+
+	State  string `json:"state,omitempty"`
+	Reason string `json:"reason,omitempty"`
+
+	Packet   *PacketEvent     `json:"packet,omitempty"`
+	Loss     *LossEvent       `json:"loss,omitempty"`
+	Summary  *SummaryEvent    `json:"summary,omitempty"`
+	Mutation *AppliedMutation `json:"mutation,omitempty"`
+}
+
+// PacketEvent is the per-packet telemetry tap: one acknowledged packet
+// as the sender saw it.
+type PacketEvent struct {
+	Seq       int64   `json:"pkt"`
+	DelayMs   float64 `json:"delay_ms"` // one-way delay
+	RTTMs     float64 `json:"rtt_ms"`
+	Cwnd      int     `json:"cwnd"`     // sender window, packets (0 = rate-based)
+	Inflight  int     `json:"inflight"` // outstanding packets after this ack
+	Delivered int64   `json:"delivered_bytes"`
+}
+
+// LossEvent reports one packet declared lost (dupack gap or RTO).
+type LossEvent struct {
+	Seq  int64 `json:"pkt"`
+	Cwnd int   `json:"cwnd"` // sender window after the loss reaction
+}
+
+// SummaryEvent is the rolled-up view over the last summary interval.
+type SummaryEvent struct {
+	Cwnd          int     `json:"cwnd"`
+	Inflight      int     `json:"inflight"`
+	SRTTMs        float64 `json:"srtt_ms"`
+	ThroughputBps float64 `json:"throughput_bps"` // delivered bits/s over the interval
+	Sent          int64   `json:"sent"`           // cumulative packets transmitted
+	Delivered     int64   `json:"delivered_bytes"`
+	Lost          int64   `json:"lost"` // cumulative packets declared lost
+}
+
+// AppliedMutation records what a path mutation did, in the event
+// stream and in session Info.
+type AppliedMutation struct {
+	BandwidthScale float64 `json:"bandwidth_scale,omitempty"`
+	BandwidthBps   float64 `json:"bandwidth_bps,omitempty"` // resulting rate (iboxnet)
+	LossRate       float64 `json:"loss_rate,omitempty"`
+	LossBurstS     float64 `json:"loss_burst_s,omitempty"`
+	ReorderRate    float64 `json:"reorder_rate,omitempty"`
+	ReorderExtraMs float64 `json:"reorder_extra_ms,omitempty"`
+	ReorderBurstS  float64 `json:"reorder_burst_s,omitempty"`
+	Checkpoint     string  `json:"checkpoint,omitempty"` // swapped-in model
+}

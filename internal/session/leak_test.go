@@ -1,0 +1,15 @@
+package session
+
+import (
+	"os"
+	"testing"
+
+	"ibox/internal/leakcheck"
+)
+
+// TestMain fails the package if any session goroutine outlives the
+// tests — a run loop that missed its close, a subscriber stuck on the
+// ring, or a reaper that Shutdown failed to stop.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m, "ibox/internal/session", "ibox/internal/par"))
+}

@@ -1,0 +1,131 @@
+package session
+
+import (
+	"context"
+	"io"
+	"sync"
+)
+
+// ring is the session's bounded replay buffer of encoded events. The
+// run goroutine publishes; any number of subscribers read by cursor.
+// A subscriber that falls more than RingSize events behind loses the
+// overwritten prefix and is told about the gap (SSE clients see it as
+// a jump in event ids and can re-request state).
+type ring struct {
+	mu     sync.Mutex
+	buf    []entry // circular
+	start  int     // index of the oldest entry
+	n      int
+	notify chan struct{} // closed and replaced on every publish
+	closed bool
+}
+
+type entry struct {
+	seq  int64
+	data []byte
+}
+
+func newRing(capacity int) *ring {
+	return &ring{
+		buf:    make([]entry, capacity),
+		notify: make(chan struct{}),
+	}
+}
+
+// add publishes one encoded event and wakes all waiters.
+func (r *ring) add(seq int64, data []byte) {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		r.buf[r.start] = entry{seq: seq, data: data}
+		r.start = (r.start + 1) % len(r.buf)
+	} else {
+		r.buf[(r.start+r.n)%len(r.buf)] = entry{seq: seq, data: data}
+		r.n++
+	}
+	ch := r.notify
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+	close(ch)
+}
+
+// closeRing marks the stream complete and wakes all waiters for good.
+func (r *ring) closeRing() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.notify)
+	}
+	r.mu.Unlock()
+}
+
+// since returns every buffered event with seq > after, the cursor to
+// resume from, whether events were lost to overwrite (gap), whether the
+// stream is complete, and a channel that closes on the next publish.
+func (r *ring) since(after int64) (batch [][]byte, next int64, gap, closed bool, wait <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next = after
+	for i := 0; i < r.n; i++ {
+		e := r.buf[(r.start+i)%len(r.buf)]
+		if e.seq <= after {
+			continue
+		}
+		if len(batch) == 0 && e.seq != after+1 {
+			gap = true
+		}
+		batch = append(batch, e.data)
+		next = e.seq
+	}
+	return batch, next, gap, r.closed, r.notify
+}
+
+// Subscription is one subscriber's cursor into a session's event
+// stream. Close it when done so the idle-TTL reaper sees the session
+// unwatched.
+type Subscription struct {
+	s      *Session
+	cursor int64
+	once   sync.Once
+}
+
+// Subscribe attaches a subscriber resuming after the given event seq
+// (0 = from the oldest buffered event).
+func (s *Session) Subscribe(after int64) *Subscription {
+	s.subs.Add(1)
+	s.touch()
+	return &Subscription{s: s, cursor: after}
+}
+
+// Next blocks until events are available and returns them in order
+// (encoded JSON, one per element), with gap reporting whether events
+// were lost to ring overwrite since the last call. It returns io.EOF
+// once the session is terminal and the stream fully drained, or ctx's
+// error.
+func (sub *Subscription) Next(ctx context.Context) (batch [][]byte, gap bool, err error) {
+	for {
+		batch, next, gap, closed, wait := sub.s.ring.since(sub.cursor)
+		if len(batch) > 0 {
+			sub.cursor = next
+			return batch, gap, nil
+		}
+		if closed {
+			return nil, false, io.EOF
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// Cursor returns the seq of the last event returned by Next.
+func (sub *Subscription) Cursor() int64 { return sub.cursor }
+
+// Close detaches the subscriber. Idempotent.
+func (sub *Subscription) Close() {
+	sub.once.Do(func() {
+		sub.s.subs.Add(-1)
+		sub.s.touch()
+	})
+}

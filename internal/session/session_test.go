@@ -1,0 +1,490 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"ibox/internal/iboxml"
+	"ibox/internal/iboxnet"
+	"ibox/internal/par"
+	"ibox/internal/sim"
+	"ibox/internal/trace"
+)
+
+// testNetParams is a synthetic learnt path: 10 Mbit/s, 20 ms, a queue
+// worth ~24 packets, and a ramping cross-traffic series.
+func testNetParams() iboxnet.Params {
+	ct := trace.NewSeries(0, 100*sim.Millisecond, 50)
+	for i := range ct.Vals {
+		ct.Vals[i] = float64(300 * i)
+	}
+	return iboxnet.Params{
+		Bandwidth:    1.25e6,
+		PropDelay:    20 * sim.Millisecond,
+		BufferBytes:  36000,
+		CrossTraffic: ct,
+		LossRate:     0.01,
+	}
+}
+
+// trainMLOnce caches one tiny trained checkpoint across tests (the
+// same construction the serve tests use).
+var trainMLOnce = struct {
+	sync.Once
+	m   *iboxml.Model
+	err error
+}{}
+
+func trainedML(t testing.TB) *iboxml.Model {
+	t.Helper()
+	trainMLOnce.Do(func() {
+		rng := sim.NewRand(3, 5)
+		var samples []iboxml.TrainingSample
+		for i := int64(0); i < 2; i++ {
+			tr := &trace.Trace{Protocol: "synth"}
+			var now sim.Time
+			for seq := int64(0); now < 4*sim.Second; seq++ {
+				phase := 2 * math.Pi * now.Seconds() / 4
+				rate := 156_250 * (1.25 + math.Sin(phase+float64(i)))
+				now += sim.Time(1500 / rate * float64(sim.Second))
+				delayMs := 20 + 40*math.Abs(math.Sin(phase)) + rng.NormFloat64()
+				if delayMs < 1 {
+					delayMs = 1
+				}
+				tr.Packets = append(tr.Packets, trace.Packet{
+					Seq: seq, Size: 1500, SendTime: now,
+					RecvTime: now + sim.Time(delayMs*float64(sim.Millisecond)),
+				})
+			}
+			samples = append(samples, iboxml.TrainingSample{Trace: tr})
+		}
+		trainMLOnce.m, trainMLOnce.err = iboxml.Train(samples, iboxml.Config{
+			Hidden: 8, Layers: 1, Epochs: 2, Seed: 5,
+		})
+	})
+	if trainMLOnce.err != nil {
+		t.Fatalf("train: %v", trainMLOnce.err)
+	}
+	return trainMLOnce.m
+}
+
+// collect drains a session's full event stream from the beginning.
+func collect(t testing.TB, s *Session) [][]byte {
+	t.Helper()
+	sub := s.Subscribe(0)
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var all [][]byte
+	for {
+		batch, gap, err := sub.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			return all
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if gap {
+			t.Fatalf("unexpected gap in stream after %d events", len(all))
+		}
+		all = append(all, batch...)
+	}
+}
+
+// runToEnd creates an unpaced session and returns its full stream.
+func runToEnd(t testing.TB, cfg Config) [][]byte {
+	t.Helper()
+	cfg.Speed = -1 // unpaced
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stream := collect(t, s)
+	<-s.Done()
+	return stream
+}
+
+func joinStream(events [][]byte) []byte {
+	return bytes.Join(events, []byte("\n"))
+}
+
+// TestSessionDeterministic proves the tentpole determinism contract:
+// the same (checkpoint, sender, seed) produces a byte-identical
+// telemetry stream across runs and across serial vs pooled stepping,
+// for both artifact kinds.
+func TestSessionDeterministic(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"iboxnet", Config{
+			ID: "d1", Kind: KindIBoxNet, Net: testNetParams(),
+			Protocol: "cubic", Seed: 42, Duration: 3 * sim.Second,
+			RingSize: 1 << 16,
+		}},
+		{"iboxml", Config{
+			ID: "d2", Kind: KindIBoxML, ML: trainedML(t),
+			Protocol: "vegas", Seed: 7, Duration: 2 * sim.Second,
+			RingSize: 1 << 16,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := runToEnd(t, tc.cfg)
+			again := runToEnd(t, tc.cfg)
+			pooled := tc.cfg
+			pooled.Pool = pool
+			onPool := runToEnd(t, pooled)
+
+			if len(serial) < 100 {
+				t.Fatalf("expected a substantial stream, got %d events", len(serial))
+			}
+			if !bytes.Equal(joinStream(serial), joinStream(again)) {
+				t.Fatalf("two serial runs differ (%d vs %d events)", len(serial), len(again))
+			}
+			if !bytes.Equal(joinStream(serial), joinStream(onPool)) {
+				t.Fatalf("serial vs pooled streams differ (%d vs %d events)", len(serial), len(onPool))
+			}
+		})
+	}
+}
+
+// TestSessionLifecycleAndMutation drives one session through the full
+// state machine: run, mutate (bandwidth halved + loss burst), observe
+// the sender's cwnd respond, pause, resume, close.
+func TestSessionLifecycleAndMutation(t *testing.T) {
+	// Paced at 100× so the session visibly runs but cannot complete its
+	// 10-minute virtual duration inside the test.
+	s, err := New(Config{
+		ID: "life", Kind: KindIBoxNet, Net: testNetParams(),
+		Protocol: "cubic", Seed: 1, Duration: 600 * sim.Second,
+		Speed: 100, RingSize: 1 << 16,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		s.Close("test")
+		<-s.Done()
+	}()
+
+	sub := s.Subscribe(0)
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Let it run, then mutate: halve the bandwidth and inject a loss
+	// burst — the sender's window must come down.
+	waitSummaries := func(n int) (cwndSum float64, count int) {
+		for count < n {
+			batch, _, err := sub.Next(ctx)
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			for _, b := range batch {
+				var ev Event
+				if err := json.Unmarshal(b, &ev); err != nil {
+					t.Fatalf("bad event %s: %v", b, err)
+				}
+				if ev.Type == EventSummary {
+					cwndSum += float64(ev.Summary.Cwnd)
+					count++
+				}
+			}
+		}
+		return cwndSum, count
+	}
+	beforeSum, beforeN := waitSummaries(20)
+
+	loss := 0.2
+	if err := s.Mutate(Mutation{
+		BandwidthScale: 0.5,
+		LossRate:       &loss,
+		LossBurstS:     5,
+	}); err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	if got := s.Info().Mutations; got != 1 {
+		t.Fatalf("Mutations = %d, want 1", got)
+	}
+	afterSum, afterN := waitSummaries(20)
+	before, after := beforeSum/float64(beforeN), afterSum/float64(afterN)
+	if after >= before {
+		t.Errorf("mean cwnd did not drop after bandwidth×0.5 + loss burst: before %.1f, after %.1f", before, after)
+	}
+
+	// Pause freezes virtual time.
+	if err := s.Pause(); err != nil {
+		t.Fatalf("Pause: %v", err)
+	}
+	if st := s.State(); st != Paused {
+		t.Fatalf("state = %v, want paused", st)
+	}
+	vt1 := s.Info().VTSeconds
+	time.Sleep(50 * time.Millisecond)
+	if vt2 := s.Info().VTSeconds; vt2 != vt1 {
+		t.Fatalf("virtual time advanced while paused: %v -> %v", vt1, vt2)
+	}
+	if err := s.Resume(); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	waitSummaries(2) // proves it advances again
+
+	if err := s.Close("client"); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	<-s.Done()
+	if st := s.State(); st != Closed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+	// Double close is a no-op.
+	if err := s.Close("again"); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The stream drains to EOF.
+	for {
+		_, _, err := sub.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next after close: %v", err)
+		}
+	}
+}
+
+// TestSessionCheckpointSwap swaps the artifact mid-session and keeps
+// streaming.
+func TestSessionCheckpointSwap(t *testing.T) {
+	s, err := New(Config{
+		ID: "swap", Kind: KindIBoxNet, Net: testNetParams(),
+		Checkpoint: "a.json", Protocol: "reno", Seed: 3,
+		Duration: 600 * sim.Second, Speed: 100, RingSize: 1 << 16,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		s.Close("test")
+		<-s.Done()
+	}()
+
+	// Subscribe before mutating so the mutate event cannot be lost to
+	// ring overwrite.
+	sub := s.Subscribe(0)
+	defer sub.Close()
+
+	swapped := testNetParams()
+	swapped.PropDelay = 60 * sim.Millisecond
+	if err := s.Mutate(Mutation{Swap: &ModelSwap{
+		Checkpoint: "b.json", Kind: KindIBoxNet, Net: swapped,
+	}}); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	if got := s.Info().Checkpoint; got != "b.json" {
+		t.Fatalf("Info.Checkpoint = %q, want b.json", got)
+	}
+
+	// Delay floor on fresh packets reflects the new path's RTT.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sawMutate := false
+	sawVT := 0.0
+	var ev Event
+	for {
+		batch, _, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		for _, b := range batch {
+			if err := json.Unmarshal(b, &ev); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Type == EventMutate {
+				if ev.Mutation.Checkpoint != "b.json" {
+					t.Fatalf("mutate event checkpoint = %q", ev.Mutation.Checkpoint)
+				}
+				sawMutate, sawVT = true, ev.VT
+			}
+			// A packet sent well after the swap (past the old path's
+			// in-flight tail) must see the new propagation delay.
+			if sawMutate && ev.Type == EventPacket && ev.VT > sawVT+1 {
+				if ev.Packet.DelayMs < 59 {
+					t.Fatalf("post-swap delay %.1f ms < new prop delay", ev.Packet.DelayMs)
+				}
+				return
+			}
+		}
+	}
+}
+
+// TestMutationValidation rejects nonsense.
+func TestMutationValidation(t *testing.T) {
+	bad := -0.5
+	for _, mu := range []Mutation{
+		{},
+		{BandwidthScale: -1},
+		{LossRate: &bad},
+	} {
+		if err := (&mu).validate(); err == nil {
+			t.Errorf("mutation %+v validated", mu)
+		}
+	}
+}
+
+// TestManagerCapsAndReaper exercises admission caps, idle-TTL reaping,
+// and drain.
+func TestManagerCapsAndReaper(t *testing.T) {
+	m := NewManager(Limits{MaxSessions: 3, MaxPerTenant: 2, TTL: -1}, nil)
+	defer m.Shutdown()
+
+	mk := func(tenant string) (*Session, error) {
+		return m.Create(Config{
+			Kind: KindIBoxNet, Net: testNetParams(), Tenant: tenant,
+			Protocol: "cubic", Seed: 1, Duration: 300 * sim.Second,
+			// Slow pacing: the session barely advances during the test.
+			Speed: 0.01,
+		})
+	}
+	a1, err := mk("a")
+	if err != nil {
+		t.Fatalf("create a1: %v", err)
+	}
+	if _, err := mk("a"); err != nil {
+		t.Fatalf("create a2: %v", err)
+	}
+	if _, err := mk("a"); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("third tenant-a session: err = %v, want tenant limit", err)
+	}
+	if _, err := mk("b"); err != nil {
+		t.Fatalf("create b1: %v", err)
+	}
+	if _, err := mk("c"); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("fourth session: err = %v, want session limit", err)
+	}
+	if got := m.Active(); got != 3 {
+		t.Fatalf("Active = %d, want 3", got)
+	}
+	if got := len(m.List()); got != 3 {
+		t.Fatalf("List = %d sessions, want 3", got)
+	}
+
+	// Closing frees the slot for the capped tenant.
+	if err := a1.Close("test"); err != nil {
+		t.Fatalf("close a1: %v", err)
+	}
+	<-a1.Done()
+	if _, err := m.Get(a1.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("closed session still listed: %v", err)
+	}
+	if _, err := mk("a"); err != nil {
+		t.Fatalf("create after close: %v", err)
+	}
+
+	// The reaper expires idle (unwatched) sessions, and only those.
+	m2 := NewManager(Limits{MaxSessions: 8, TTL: time.Minute}, nil)
+	defer m2.Shutdown()
+	idle, err := m2.Create(Config{
+		Kind: KindIBoxNet, Net: testNetParams(),
+		Protocol: "cubic", Seed: 2, Duration: 300 * sim.Second, Speed: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	watched, err := m2.Create(Config{
+		Kind: KindIBoxNet, Net: testNetParams(),
+		Protocol: "cubic", Seed: 3, Duration: 300 * sim.Second, Speed: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := watched.Subscribe(0)
+	defer sub.Close()
+
+	m2.reapOnceNow(time.Now().Add(2 * time.Minute))
+	<-idle.Done()
+	if st := idle.State(); st != Expired {
+		t.Fatalf("idle session state = %v, want expired", st)
+	}
+	if watched.State().terminal() {
+		t.Fatal("watched session was reaped")
+	}
+	if got := m2.Active(); got != 1 {
+		t.Fatalf("Active after reap = %d, want 1", got)
+	}
+}
+
+// TestManagerCheckpointAndDrain writes the drain descriptor and shuts
+// every session down.
+func TestManagerCheckpointAndDrain(t *testing.T) {
+	m := NewManager(Limits{MaxSessions: 4, TTL: -1}, nil)
+	s, err := m.Create(Config{
+		Kind: KindIBoxNet, Net: testNetParams(), Checkpoint: "prof.json",
+		Protocol: "bbr", Seed: 9, Duration: 300 * sim.Second, Speed: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/sessions.json"
+	if err := m.Checkpoint(path); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	m.Shutdown()
+	<-s.Done()
+	if st := s.State(); st != Closed {
+		t.Fatalf("state after drain = %v, want closed", st)
+	}
+
+	var snap struct {
+		Sessions []SessionState `json:"sessions"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("decode checkpoint: %v", err)
+	}
+	if len(snap.Sessions) != 1 || snap.Sessions[0].Checkpoint != "prof.json" {
+		t.Fatalf("checkpoint content: %+v", snap)
+	}
+
+	// A drained manager refuses new sessions.
+	if _, err := m.Create(Config{
+		Kind: KindIBoxNet, Net: testNetParams(), Protocol: "cubic",
+		Seed: 1, Duration: sim.Second,
+	}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("create after drain: err = %v, want draining", err)
+	}
+}
+
+// TestRingGapReporting: a subscriber further behind than the ring
+// retains learns about the loss.
+func TestRingGapReporting(t *testing.T) {
+	r := newRing(4)
+	for seq := int64(1); seq <= 10; seq++ {
+		r.add(seq, []byte{byte(seq)})
+	}
+	batch, next, gap, _, _ := r.since(0)
+	if !gap {
+		t.Fatal("expected gap after overwrite")
+	}
+	if len(batch) != 4 || next != 10 {
+		t.Fatalf("since(0) = %d events, next %d", len(batch), next)
+	}
+	// A current subscriber sees no gap.
+	if _, _, gap, _, _ := r.since(10); gap {
+		t.Fatal("caught-up subscriber reported a gap")
+	}
+}
