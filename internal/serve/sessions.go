@@ -156,9 +156,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if req.SummaryEveryMs > 0 {
 		cfg.Summary = sim.Time(req.SummaryEveryMs * float64(sim.Millisecond))
 	}
-	if model.Kind == KindIBoxML {
-		cfg.Score = s.sessionScore(model.ID)
-	}
+	// The session re-resolves the tap at every path rebuild, so drift
+	// stays attributed to whichever model a checkpoint swap installs.
+	cfg.Score = s.sessionScore
 	sess, err := s.sessions.Create(cfg)
 	if err != nil {
 		s.sessionError(w, err)
@@ -383,9 +383,11 @@ func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
 // signal on /statusz and the serve.session.drift.* gauges, never an
 // input to quarantine or the drift SLO.
 
-// sessionScore returns the per-model live drift tap handed to
-// session.Config.Score. Called from simulation context; Observe is
-// lock-free.
+// sessionScore is the session.Config.Score factory: it resolves the
+// given model id to its live drift sketch and returns the per-packet
+// observer. Sessions call it once per path (re)build — so a checkpoint
+// swap rebinds scoring to the swapped-in model — and the returned
+// observer runs in simulation context; Observe is lock-free.
 func (s *Server) sessionScore(modelID string) func(pit, nll float64) {
 	s.sessDriftMu.Lock()
 	d, ok := s.sessDrifts[modelID]

@@ -542,6 +542,54 @@ func TestSessionDriftScoring(t *testing.T) {
 	resp.Body.Close()
 }
 
+// TestSessionDriftRebindsOnSwap: drift scoring follows the session's
+// *current* checkpoint. A session created from an iboxnet artifact has
+// no drift tap, but swapping an ML checkpoint in mid-session must start
+// filling that model's sketch — not stay dark or credit the old id.
+func TestSessionDriftRebindsOnSwap(t *testing.T) {
+	s, dir := newTestServer(t, nil)
+	writeNetModel(t, dir, "path-a.json")
+	writeMLModel(t, dir, "lstm.json")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, created := createSession(t, ts.URL, "", SessionRequest{
+		Model: "path-a.json", Protocol: "cubic", Seed: 3, Speed: 100, DurationS: 600,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+	id := created.Session.ID
+	defer func() {
+		req, _ := http.NewRequest("DELETE", ts.URL+"/v1/sessions/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	if sts := s.SessionDriftStatuses(); len(sts) != 0 {
+		t.Fatalf("iboxnet session opened a drift sketch: %+v", sts)
+	}
+	code, body := postJSON(t, ts.URL+"/v1/sessions/"+id+"/path", PathRequest{
+		Mutation: session.Mutation{Checkpoint: "lstm.json"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("swap status %d: %s", code, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sts := s.SessionDriftStatuses()
+		if len(sts) == 1 && sts[0].Model == "lstm.json" && sts[0].Samples > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("swapped-in model never accrued drift samples: %+v", sts)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestSessionDrainCheckpoint shuts a server down with a live session
 // and checks the drain checkpoint records it, and that a draining
 // server refuses new sessions.

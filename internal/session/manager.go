@@ -73,6 +73,7 @@ type Manager struct {
 
 	mu        sync.Mutex
 	sessions  map[string]*Session
+	reserved  map[string]struct{} // ids admitted but not yet in sessions
 	perTenant map[string]int
 	total     int // reserved slots (admitted, possibly not yet in sessions)
 	draining  bool
@@ -103,6 +104,7 @@ func NewManager(limits Limits, pool *par.Pool) *Manager {
 		limits:    limits.withDefaults(),
 		pool:      pool,
 		sessions:  make(map[string]*Session),
+		reserved:  make(map[string]struct{}),
 		perTenant: make(map[string]int),
 	}
 	if r := obs.Get(); r != nil {
@@ -151,11 +153,16 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	}
 	if cfg.ID == "" {
 		cfg.ID = fmt.Sprintf("s-%d", m.seq.Add(1))
-	} else if _, dup := m.sessions[cfg.ID]; dup {
+	}
+	if m.idTaken(cfg.ID) {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("session: id %q already exists", cfg.ID)
 	}
-	// Reserve the slot under the lock; release it if New fails.
+	// Reserve the slot AND the id under one critical section, so two
+	// concurrent Creates with the same explicit id cannot both pass the
+	// dup check and silently overwrite each other in m.sessions. Both
+	// are released if New fails.
+	m.reserved[cfg.ID] = struct{}{}
 	m.total++
 	m.perTenant[cfg.Tenant]++
 	m.mu.Unlock()
@@ -175,16 +182,36 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	s, err := New(cfg)
 	if err != nil {
 		m.mu.Lock()
+		delete(m.reserved, cfg.ID)
 		m.release(cfg.Tenant)
 		m.mu.Unlock()
 		return nil, err
 	}
 	m.mu.Lock()
+	delete(m.reserved, s.ID())
 	m.sessions[s.ID()] = s
 	m.mu.Unlock()
+	// A very short session (tiny Duration, unpaced) can reach its
+	// terminal state before the registration above; its OnClose→remove
+	// then found nothing to delete, so unregister it here. remove is
+	// idempotent, and ids are unique among live sessions, so at most one
+	// of the two calls finds the entry.
+	if s.State().terminal() {
+		m.remove(s)
+	}
 	m.created.Add(1)
 	m.publishGauges()
 	return s, nil
+}
+
+// idTaken reports whether id names a live or reserved session; m.mu
+// must be held.
+func (m *Manager) idTaken(id string) bool {
+	if _, ok := m.sessions[id]; ok {
+		return true
+	}
+	_, ok := m.reserved[id]
+	return ok
 }
 
 // release returns a reserved slot under m.mu.
@@ -199,13 +226,19 @@ func (m *Manager) release(tenant string) {
 }
 
 // remove unregisters a finished session (the Session's OnClose hook).
+// Idempotent: only the call that finds the registration releases the
+// slot and counts the close.
 func (m *Manager) remove(s *Session) {
 	m.mu.Lock()
-	if _, ok := m.sessions[s.ID()]; ok {
+	_, ok := m.sessions[s.ID()]
+	if ok {
 		delete(m.sessions, s.ID())
 		m.release(s.Tenant())
 	}
 	m.mu.Unlock()
+	if !ok {
+		return
+	}
 	if s.State() == Expired {
 		m.expired.Add(1)
 	} else {
@@ -309,7 +342,7 @@ func (m *Manager) reapOnceNow(now time.Time) {
 	}
 	m.mu.Unlock()
 	for _, s := range idle {
-		s.expire()
+		s.expire(now, m.limits.TTL)
 	}
 }
 

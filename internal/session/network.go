@@ -178,12 +178,16 @@ func (s *Session) buildNetwork(rebuilds int) (cc.Network, error) {
 		if s.bwScale > 0 {
 			scale = 1 / s.bwScale
 		}
+		var score func(pit, nll float64)
+		if s.cfg.Score != nil {
+			score = s.cfg.Score(s.checkpoint)
+		}
 		return &mlNet{
 			sched:      s.sched,
 			model:      s.ml,
 			h:          s.ml.NewHierarchical(seed),
 			delayScale: scale,
-			score:      s.cfg.Score,
+			score:      score,
 		}, nil
 	}
 	return nil, fmt.Errorf("session: unknown model kind %q", s.kind)
@@ -202,11 +206,14 @@ func (s *Session) applyMutation(mu Mutation) (*AppliedMutation, error) {
 	now := s.sched.Now()
 
 	if mu.Swap != nil {
+		// kind and checkpoint are read by Info from other goroutines.
+		s.infoMu.Lock()
 		s.kind = mu.Swap.Kind
+		s.checkpoint = mu.Swap.Checkpoint
+		s.infoMu.Unlock()
 		s.net = mu.Swap.Net
 		s.variant = mu.Swap.Variant
 		s.ml = mu.Swap.ML
-		s.checkpoint = mu.Swap.Checkpoint
 		applied.Checkpoint = mu.Swap.Checkpoint
 	}
 	if mu.BandwidthScale > 0 && mu.BandwidthScale != 1 {

@@ -129,11 +129,16 @@ type Config struct {
 	// inline on the run goroutine.
 	Pool *par.Pool
 
-	// Score, when non-nil, observes every ML-predicted packet delay as a
-	// (PIT, NLL) pair against the model's own group distribution — the
-	// live-session drift tap. Called from simulation context; must not
-	// block.
-	Score func(pit, nll float64)
+	// Score, when non-nil, is invoked at every path (re)build with the
+	// session's current checkpoint id and returns that model's per-packet
+	// drift observer — one (PIT, NLL) pair per ML-predicted delay against
+	// the model's own group distribution — or nil to disable scoring.
+	// Re-resolving per build keeps live drift attributed to the model
+	// actually producing packets after a mid-session checkpoint swap
+	// (including a session that starts on an iboxnet artifact and swaps
+	// to an ML one). The returned observer runs in simulation context;
+	// it must not block.
+	Score func(model string) func(pit, nll float64)
 
 	// OnClose fires once, from the run goroutine, after the session
 	// reaches a terminal state (the Manager uses it to unregister).
@@ -191,7 +196,6 @@ type Session struct {
 	flow     *cc.Flow
 	sender   cc.Sender
 	shim     *pathShim
-	kind     string
 	net      iboxnet.Params
 	variant  iboxnet.Variant
 	ml       *iboxml.Model
@@ -204,8 +208,12 @@ type Session struct {
 	lost     int64
 	sumBase  int64 // delivered bytes at the last summary event
 
-	// infoMu guards the fields a checkpoint swap rewrites and Info reads.
+	// infoMu guards the fields a checkpoint swap rewrites (applyMutation,
+	// on the run goroutine) and Info reads from any goroutine. The run
+	// goroutine is the only writer, so its own reads (buildNetwork) need
+	// no lock.
 	infoMu     sync.Mutex
+	kind       string
 	checkpoint string
 
 	// Control plane.
@@ -423,9 +431,20 @@ func (s *Session) Close(reason string) error {
 	return err
 }
 
-// expire is Close for the idle-TTL reaper.
-func (s *Session) expire() {
+// expire is Close for the idle-TTL reaper. The reaper's scan decided
+// the session was idle *before* this op reached the run goroutine, so
+// the idle conditions are re-checked here: a subscriber that attached
+// (or any control-plane touch) in that window aborts the expiry instead
+// of having its just-opened stream cut with an "idle ttl" end event.
+// now is the reaper's scan time, ttl the idle deadline.
+func (s *Session) expire(now time.Time, ttl time.Duration) {
 	err := s.do(func() error {
+		if s.Subscribers() > 0 {
+			return nil
+		}
+		if ttl > 0 && now.Sub(time.Unix(0, s.lastActive.Load())) < ttl {
+			return nil
+		}
 		s.finish(Expired, "idle ttl")
 		return nil
 	})

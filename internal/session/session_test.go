@@ -329,6 +329,65 @@ func TestSessionCheckpointSwap(t *testing.T) {
 	}
 }
 
+// TestSessionInfoDuringSwapRace hammers Info (the GET /sessions and
+// /statusz read path) from several goroutines while the run goroutine
+// applies checkpoint swaps, under the race detector. Info must always
+// see a consistent (kind, checkpoint) pair: both are rewritten under
+// infoMu by applyMutation.
+func TestSessionInfoDuringSwapRace(t *testing.T) {
+	ml := trainedML(t)
+	s, err := New(Config{
+		ID: "inforace", Kind: KindIBoxNet, Net: testNetParams(),
+		Checkpoint: "net.json", Protocol: "cubic", Seed: 6,
+		Duration: 600 * sim.Second, Speed: 100, RingSize: 1 << 16,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		s.Close("test")
+		<-s.Done()
+	}()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				in := s.Info()
+				wantCkpt := "net.json"
+				if in.Kind == KindIBoxML {
+					wantCkpt = "ml.json"
+				}
+				if in.Checkpoint != wantCkpt {
+					t.Errorf("Info saw torn swap: kind %q with checkpoint %q", in.Kind, in.Checkpoint)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		var mu Mutation
+		if i%2 == 0 {
+			mu = Mutation{Swap: &ModelSwap{Checkpoint: "ml.json", Kind: KindIBoxML, ML: ml}}
+		} else {
+			mu = Mutation{Swap: &ModelSwap{Checkpoint: "net.json", Kind: KindIBoxNet, Net: testNetParams()}}
+		}
+		if err := s.Mutate(mu); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
 // TestMutationValidation rejects nonsense.
 func TestMutationValidation(t *testing.T) {
 	bad := -0.5
@@ -422,6 +481,103 @@ func TestManagerCapsAndReaper(t *testing.T) {
 	}
 	if got := m2.Active(); got != 1 {
 		t.Fatalf("Active after reap = %d, want 1", got)
+	}
+}
+
+// TestManagerCreateDuplicateIDRace: concurrent Creates with the same
+// explicit id must admit exactly one session — the id is reserved in
+// the same critical section as the dup check, so the losers cannot
+// overwrite the winner in the session map and corrupt slot accounting.
+func TestManagerCreateDuplicateIDRace(t *testing.T) {
+	m := NewManager(Limits{MaxSessions: 16, TTL: -1}, nil)
+	defer m.Shutdown()
+
+	cfg := Config{
+		ID: "dup", Kind: KindIBoxNet, Net: testNetParams(),
+		Protocol: "cubic", Seed: 1, Duration: 300 * sim.Second, Speed: 0.01,
+	}
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = m.Create(cfg)
+		}(i)
+	}
+	wg.Wait()
+	created := 0
+	for _, err := range errs {
+		if err == nil {
+			created++
+		}
+	}
+	if created != 1 {
+		t.Fatalf("%d of %d same-id Creates succeeded, want exactly 1", created, n)
+	}
+	if got := m.Active(); got != 1 {
+		t.Fatalf("Active = %d, want 1", got)
+	}
+
+	// The losers' failures released their reservations: closing the
+	// winner frees the id and its slot for reuse.
+	s, err := m.Get("dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close("test"); err != nil {
+		t.Fatal(err)
+	}
+	<-s.Done()
+	s2, err := m.Create(cfg)
+	if err != nil {
+		t.Fatalf("recreate after close: %v", err)
+	}
+	if err := s2.Close("test"); err != nil {
+		t.Fatal(err)
+	}
+	<-s2.Done()
+}
+
+// TestExpireRecheckSparesActiveSession: the reaper decides a session is
+// idle under the manager lock but expires it afterwards; a subscriber
+// (or any control-plane touch) landing in that window must abort the
+// expiry rather than have its just-opened stream cut.
+func TestExpireRecheckSparesActiveSession(t *testing.T) {
+	s, err := New(Config{
+		ID: "recheck", Kind: KindIBoxNet, Net: testNetParams(),
+		Protocol: "cubic", Seed: 8, Duration: 300 * sim.Second, Speed: 0.01,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		s.Close("test")
+		<-s.Done()
+	}()
+	ttl := time.Minute
+
+	// A subscriber attached after the scan: the re-check sees it.
+	sub := s.Subscribe(0)
+	s.expire(time.Now().Add(2*time.Minute), ttl)
+	if s.State().terminal() {
+		t.Fatal("expire reaped a watched session")
+	}
+
+	// Unwatched but touched after the scan: still spared.
+	sub.Close()
+	s.touch()
+	s.expire(time.Now(), ttl)
+	if s.State().terminal() {
+		t.Fatal("expire reaped a freshly touched session")
+	}
+
+	// Genuinely idle: expires.
+	s.expire(time.Now().Add(2*time.Minute), ttl)
+	<-s.Done()
+	if st := s.State(); st != Expired {
+		t.Fatalf("state = %v, want expired", st)
 	}
 }
 
