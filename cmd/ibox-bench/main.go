@@ -15,7 +15,12 @@
 //     replay bursts through the full HTTP path (see internal/serve). Both
 //     modes run on a single-worker pool, so the batched win is the
 //     shared per-window kernel setup, not extra parallelism — and both
-//     return byte-identical responses.
+//     return byte-identical responses. A mixed-checkpoint section then
+//     streams a paper-scale burst spread over several distinct same-shape
+//     checkpoints through /v1/replay, comparing shape-keyed
+//     cross-checkpoint batching against per-checkpoint-only grouping on
+//     burst wall time and worst time-to-first-chunk, with every streamed
+//     prediction asserted bitwise-identical to the unbatched replay first.
 //   - nested: per-call par.Map vs shared par.Pool on the Fig 3 shape
 //     (variants × traces nested fan-outs) plus a synthetic nested tree,
 //     measuring what the help-first shared-pool scheduler buys when
@@ -60,6 +65,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -423,7 +429,197 @@ func serveSuite(seed int64, reps int) regress.BenchSummary {
 			}
 		}
 	}
+	serveMixedSection(&sum, dir, seed, reps, input)
 	return sum
+}
+
+// serveMixedSection measures the multi-tenant paper-scale case the
+// shape-keyed batcher exists for: a burst of streaming replays spread
+// round-robin over several DISTINCT checkpoints that share the §4.2
+// paper-scale shape (Hidden 256, four layers, ~2M params each). The
+// checkpoints are derived from the suite's paper-scale model by
+// deterministic weight perturbation, so every lane carries genuinely
+// different weights. Two batching policies compete on the same
+// single-worker pool:
+//
+//   - percheckpoint (Config.BatchPerCheckpoint): requests only co-batch
+//     with their own artifact — the pre-shape-key behavior, where a mixed
+//     burst fragments into per-checkpoint groups that run serially.
+//   - crossckpt: the default shape-keyed grouping — the whole burst
+//     coalesces into one lane batch, each lane stepping its own weights.
+//
+// Before any timing, every streamed mu sequence is asserted bitwise
+// equal to its checkpoint's offline unbatched PredictWindows — the
+// policies may differ only in latency, never in a single output bit.
+// Reported: burst wall time per mode, plus the burst's worst
+// time-to-first-chunk (speedup.*/ttfc_ms_*) — the structural win of
+// lockstep cross-checkpoint batching is that every stream makes
+// incremental progress instead of queueing behind whole replays, so the
+// last client's first chunk arrives a small fraction into the burst
+// rather than near its end.
+func serveMixedSection(sum *regress.BenchSummary, dir string, seed int64, reps int, input *trace.Trace) {
+	const (
+		clones = 4
+		burst  = 8
+		chunk  = 8 // windows per streamed chunk: several flushes per 4s trace
+	)
+	ids := make([]string, clones)
+	want := make([][]float64, clones)
+	bodies := make([][]byte, clones)
+	for c := 0; c < clones; c++ {
+		m, err := iboxml.Load(dir + "/paper.json")
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Perturb before the first inference compiles the kernel, so the
+		// clone's compiled weights are the perturbed ones.
+		scale := 1 + 0.01*float64(c+1)
+		for _, p := range m.Net.Params() {
+			for i := range p.W {
+				p.W[i] *= scale
+			}
+		}
+		ids[c] = fmt.Sprintf("mixed-%d.json", c)
+		if err := m.Save(dir + "/" + ids[c]); err != nil {
+			log.Fatal(err)
+		}
+		want[c], _ = m.PredictWindows(input, nil)
+		bodies[c], err = json.Marshal(serve.ReplayRequest{Model: ids[c], Input: input, Seed: seed + int64(c)})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	name := fmt.Sprintf("ServeMixed/paper%dx%d", clones, burst)
+	modes := []struct {
+		mode    string
+		perCkpt bool
+	}{
+		{"percheckpoint", true},
+		{"crossckpt", false},
+	}
+	best := map[string]time.Duration{}
+	bestTTFC := map[string]time.Duration{}
+	for _, m := range modes {
+		s, err := serve.NewServer(serve.Config{
+			ModelDir:           dir,
+			Workers:            1, // same CPU budget for both policies
+			MaxConcurrent:      2 * burst,
+			BatchWindow:        5 * time.Millisecond,
+			BatchMax:           burst,
+			StreamChunk:        chunk,
+			BatchPerCheckpoint: m.perCkpt,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Registry().Warm(ids); err != nil {
+			log.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+
+		fire := func() (time.Duration, time.Duration) {
+			start := time.Now()
+			ttfc := make([]time.Duration, burst)
+			mus := make([][]float64, burst)
+			var wg sync.WaitGroup
+			for i := 0; i < burst; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					resp, err := http.Post(ts.URL+"/v1/replay", "application/json", bytes.NewReader(bodies[i%clones]))
+					if err != nil {
+						log.Fatalf("%s/%s: %v", name, m.mode, err)
+					}
+					defer resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						log.Fatalf("%s/%s: HTTP %d", name, m.mode, resp.StatusCode)
+					}
+					sc := bufio.NewScanner(resp.Body)
+					sc.Buffer(make([]byte, 1<<20), 1<<24)
+					sawEnd := false
+					for sc.Scan() {
+						var frame struct {
+							Type  string    `json:"type"`
+							Mu    []float64 `json:"mu"`
+							Error string    `json:"error"`
+						}
+						if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+							log.Fatalf("%s/%s: decode stream: %v", name, m.mode, err)
+						}
+						switch frame.Type {
+						case "windows":
+							if ttfc[i] == 0 {
+								ttfc[i] = time.Since(start)
+							}
+							mus[i] = append(mus[i], frame.Mu...)
+						case "end":
+							sawEnd = true
+						case "error":
+							log.Fatalf("%s/%s: stream error: %s", name, m.mode, frame.Error)
+						}
+					}
+					if err := sc.Err(); err != nil {
+						log.Fatalf("%s/%s: read stream: %v", name, m.mode, err)
+					}
+					if !sawEnd {
+						log.Fatalf("%s/%s: stream ended without end frame", name, m.mode)
+					}
+				}(i)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			// Equivalence gate: every streamed sequence must be bitwise
+			// identical to its own checkpoint's unbatched replay (JSON
+			// round-trips float64 exactly, so this is a real bit check).
+			for i := range mus {
+				w := want[i%clones]
+				if len(mus[i]) != len(w) {
+					log.Fatalf("%s/%s: request %d streamed %d windows, want %d", name, m.mode, i, len(mus[i]), len(w))
+				}
+				for k := range w {
+					if math.Float64bits(mus[i][k]) != math.Float64bits(w[k]) {
+						log.Fatalf("%s/%s: request %d window %d: streamed mu %v != offline unbatched %v",
+							name, m.mode, i, k, mus[i][k], w[k])
+					}
+				}
+			}
+			maxTTFC := time.Duration(0)
+			for _, d := range ttfc {
+				if d > maxTTFC {
+					maxTTFC = d
+				}
+			}
+			return wall, maxTTFC
+		}
+		fire() // warm-up: model load, pool spin-up, HTTP keep-alives
+		var minWall, minTTFC time.Duration
+		for r := 0; r < reps; r++ {
+			wall, t := fire()
+			if r == 0 || wall < minWall {
+				minWall = wall
+			}
+			if r == 0 || t < minTTFC {
+				minTTFC = t
+			}
+		}
+		ts.Close()
+		best[m.mode], bestTTFC[m.mode] = minWall, minTTFC
+		sum.Benchmarks = append(sum.Benchmarks, regress.BenchMeasurement{
+			Name: name, Mode: m.mode, Workers: 1,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NsPerOp:    minWall.Nanoseconds(), Seconds: minWall.Seconds(), Reps: reps,
+		})
+		sum.Speedups[name+"/ttfc_ms_"+m.mode] = minTTFC.Seconds() * 1e3
+		fmt.Printf("%-24s %-14s %12d ns/burst  (%.3fs, worst first-chunk %6.1f ms)\n",
+			name, m.mode, minWall.Nanoseconds(), minWall.Seconds(), minTTFC.Seconds()*1e3)
+	}
+	if b := best["crossckpt"]; b > 0 {
+		sum.Speedups[name] = float64(best["percheckpoint"]) / float64(b)
+		sum.Speedups[name+"/ttfc"] = float64(bestTTFC["percheckpoint"]) / float64(bestTTFC["crossckpt"])
+		fmt.Printf("%-24s wall       %12.2fx   first-chunk %.2fx\n",
+			name, sum.Speedups[name], sum.Speedups[name+"/ttfc"])
+	}
 }
 
 // kernelSuite measures the LSTM inference kernels in isolation, per

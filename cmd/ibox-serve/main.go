@@ -15,6 +15,9 @@
 //	curl localhost:8080/v1/models
 //	curl -d '{"model":"path-a.json","protocol":"cubic","duration_s":10,"seed":1}' \
 //	     localhost:8080/v1/simulate
+//	curl -N -H 'Accept: text/event-stream' \
+//	     -d '{"model":"ml.json","seed":1,"input":...}' \
+//	     localhost:8080/v1/replay    # window predictions stream as SSE
 //	curl localhost:8080/metrics        # Prometheus exposition
 //	curl localhost:8080/statusz        # rolling-window load view
 //	curl localhost:8080/healthz?format=json  # judged health + SLO + drift
@@ -65,6 +68,8 @@ func main() {
 		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch dispatch window")
 		batchMax     = flag.Int("batch-max", 16, "flush a micro-batch early at this many requests")
 		noBatch      = flag.Bool("no-batch", false, "disable request micro-batching (responses are byte-identical either way)")
+		batchPerCkpt = flag.Bool("batch-per-checkpoint", false, "only co-batch requests hitting the same checkpoint (default groups by model shape across checkpoints)")
+		streamChunk  = flag.Int("stream-chunk", 0, "windows per streamed /v1/replay chunk; 0 = default 64")
 		workers      = flag.Int("workers", 0, "simulation pool width; 0 = one worker per CPU")
 		maxConc      = flag.Int("max-concurrency", 0, "max simulate requests executing at once; 0 = 2x workers")
 		maxQueue     = flag.Int("queue", 64, "max simulate requests waiting for a slot before shedding with 429")
@@ -115,6 +120,8 @@ func main() {
 		BatchWindow:          *batchWindow,
 		BatchMax:             *batchMax,
 		NoBatch:              *noBatch,
+		BatchPerCheckpoint:   *batchPerCkpt,
+		StreamChunk:          *streamChunk,
 		MaxConcurrent:        *maxConc,
 		MaxQueue:             *maxQueue,
 		MaxBodyBytes:         *maxBody,

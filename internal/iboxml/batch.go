@@ -1,20 +1,27 @@
 package iboxml
 
 import (
+	"fmt"
+	"time"
+
 	"ibox/internal/nn"
 	"ibox/internal/obs"
+	"ibox/internal/sim"
 	"ibox/internal/trace"
 )
 
-// Batched closed-loop inference: unroll several independent traces through
-// the same trained model in lockstep, one window-step per member per
-// round, on the compiled inference kernel (nn.InferModel). This is the
-// amortization behind request micro-batching in internal/serve: the
+// Batched closed-loop inference: unroll several independent traces in
+// lockstep, one window-step per member per round, on the compiled
+// inference kernel (nn.InferModel). Lanes need not share a checkpoint —
+// each lane carries its own trained Model and the kernel steps it through
+// its own compiled weights (nn.StepBatchLanesInto) — they only have to
+// share a Shape: architecture plus windowing. This is the amortization
+// behind cross-checkpoint request micro-batching in internal/serve: the
 // per-window setup — feature extraction, standardization, and the layer-0
-// pre-projection below — is paid once per call for the whole group, and
-// the lockstep loop itself is allocation-free (member states, standardized
-// rows, and the head scratch are set up once per call and reused every
-// step).
+// pre-projection below — is paid once per lane per call instead of once
+// per request round-trip, and the lockstep loop itself is allocation-free
+// (lane states, standardized rows, and the head scratch are set up once
+// per call and reused every step).
 //
 // Two kernel-level savings apply on top of batching:
 //
@@ -24,49 +31,123 @@ import (
 //     pre-computed for the whole window in blocked passes
 //     (nn.PreProjectInput); the sequential step only adds the feedback
 //     and cross-traffic terms plus the recurrent matvec;
-//   - each member steps through the packed inference layout, where a
+//   - each lane steps through the packed inference layout, where a
 //     unit's four gate rows run as four parallel accumulator chains off
 //     one weight stream (SIMD lanes where available; see internal/nn).
 //
-// Correctness contract: each member's arithmetic — feature extraction,
+// Correctness contract: each lane's arithmetic — feature extraction,
 // standardization, the closed-loop d_{t−1} feedback, and the de-
 // standardized mu/sigma clamping — is the exact operation sequence of
-// PredictWindows. Standardization is elementwise, so standardizing known
-// columns early is identical; pre-projection resumes each gate row's
-// accumulator mid-sum without reordering any addition (bias first, then
-// input terms ascending k, then recurrent terms ascending k). Batched
-// results therefore equal unbatched results float-for-float regardless
-// of batch composition. (With EnableInt8 the kernel itself is not
-// bitwise-exact and pre-projection is skipped, but batched still equals
-// unbatched on the same kernel.)
+// PredictWindows against that lane's own model. Standardization is
+// elementwise, so standardizing known columns early is identical;
+// pre-projection resumes each gate row's accumulator mid-sum without
+// reordering any addition (bias first, then input terms ascending k, then
+// recurrent terms ascending k). Batched results therefore equal unbatched
+// results float-for-float regardless of batch composition or order —
+// including across distinct checkpoints in one batch. (With EnableInt8
+// the kernel itself is not bitwise-exact and pre-projection is skipped,
+// but batched still equals unbatched on the same kernel; quantization is
+// part of the Shape, so float and int8 lanes never mix.)
 
 // feedbackCol is the index of the closed-loop d_{t−1} feature — the only
 // input column not known before the unroll begins.
 const feedbackCol = 3
 
-// PredictWindowsBatch runs the closed-loop window prediction of
-// PredictWindows for several traces at once. cts may be nil (no
-// cross-traffic estimate for any member) or must have one (possibly nil)
-// entry per trace. The returned mu/sigma slices are per-trace and bitwise
-// identical to calling PredictWindows on each (trace, ct) pair.
-func (m *Model) PredictWindowsBatch(trs []*trace.Trace, cts []*trace.Series) (mus, sigmas [][]float64) {
-	if !m.trained {
-		panic("iboxml: model not trained")
+// defaultLaneChunk is the streaming emission granularity, in windows,
+// when a caller passes chunk <= 0 to the lane entry points.
+const defaultLaneChunk = 64
+
+// Shape is the co-batching compatibility key for cross-checkpoint lane
+// batching: two models whose Shapes are equal can advance side by side in
+// one lockstep batch (different weights are fine — that is the point).
+// In/Hidden/Layers pin the compiled kernel architecture, Window pins the
+// feature extraction cadence, and Quantized separates the opt-in int8
+// kernel from the bitwise-exact float path.
+type Shape struct {
+	In        int
+	Hidden    int
+	Layers    int
+	Window    sim.Time
+	Quantized bool
+}
+
+// String renders the shape as a compact label, e.g. "in4_h96_l1_w100ms"
+// (with an "_int8" suffix on the quantized kernel) — used as the metric
+// label of the serving layer's per-shape batch-occupancy histogram.
+func (s Shape) String() string {
+	q := ""
+	if s.Quantized {
+		q = "_int8"
 	}
-	if cts != nil && len(cts) != len(trs) {
-		panic("iboxml: PredictWindowsBatch traces/cross-traffic length mismatch")
+	return fmt.Sprintf("in%d_h%d_l%d_w%s%s", s.In, s.Hidden, s.Layers, time.Duration(s.Window), q)
+}
+
+// Shape returns the model's co-batching key. The architecture part is
+// read from the trained network itself (not the config), so it is the
+// ground truth of what the compiled kernel will execute.
+func (m *Model) Shape() Shape {
+	ls := m.Net.LSTM.Layers
+	return Shape{
+		In:        ls[0].In,
+		Hidden:    ls[0].Hidden,
+		Layers:    len(ls),
+		Window:    m.Cfg.Window,
+		Quantized: m.useInt8,
 	}
-	n := len(trs)
-	useCT := m.Cfg.UseCrossTraffic
+}
+
+// ReplayLane is one member of a cross-checkpoint lane batch: a trained
+// model replaying one send-side input trace.
+type ReplayLane struct {
+	Model *Model
+	Input *trace.Trace
+	// CT optionally carries the lane's cross-traffic estimate; ignored
+	// unless the lane's model was trained with UseCrossTraffic.
+	CT *trace.Series
+	// Seed drives the lane's per-packet sampling (SimulateTraceLanes).
+	Seed int64
+	// Emit, when non-nil, streams the lane's closed-loop predictions
+	// incrementally: it is called with each computed chunk of windows —
+	// mu/sigma for windows [t0, t0+len(mu)) — every `chunk` lockstep
+	// rounds and at the lane's end. The slices alias internal buffers and
+	// are only valid during the call; copy to retain. Returning false
+	// abandons the lane: its remaining windows are never computed, its
+	// results come back nil, and no other lane is affected.
+	Emit func(t0 int, mu, sigma []float64) bool
+}
+
+// PredictWindowsLanes runs the closed-loop window prediction of
+// PredictWindows for several (model, trace) lanes at once, in lockstep.
+// All lane models must be trained and share one Shape; mixing shapes
+// panics rather than corrupting state. chunk sets the Emit granularity in
+// windows (<= 0 selects a default; irrelevant when no lane has an Emit).
+// The returned mu/sigma slices are per-lane and bitwise identical to
+// calling lanes[i].Model.PredictWindows(lanes[i].Input, lanes[i].CT);
+// a lane abandoned by its Emit returns nil slices instead.
+func PredictWindowsLanes(lanes []ReplayLane, chunk int) (mus, sigmas [][]float64) {
+	n := len(lanes)
+	mus = make([][]float64, n)
+	sigmas = make([][]float64, n)
+	if n == 0 {
+		return mus, sigmas
+	}
+	if chunk <= 0 {
+		chunk = defaultLaneChunk
+	}
+	shape := laneShape(lanes)
+
+	// Per-lane setup, each against the lane's own model parameters:
+	// feature extraction first.
 	xss := make([][][]float64, n)
 	maxT := 0
-	for i, tr := range trs {
+	for i := range lanes {
+		m := lanes[i].Model
 		var ctArg *trace.Series
-		if useCT && cts != nil {
-			ctArg = cts[i]
+		if m.Cfg.UseCrossTraffic {
+			ctArg = lanes[i].CT
 		}
-		xs, _, _ := WindowFeatures(tr, ctArg, m.Cfg.Window)
-		if useCT && ctArg == nil {
+		xs, _, _ := WindowFeatures(lanes[i].Input, ctArg, m.Cfg.Window)
+		if m.Cfg.UseCrossTraffic && ctArg == nil {
 			for t := range xs {
 				xs[t] = append(xs[t], 0)
 			}
@@ -76,21 +157,24 @@ func (m *Model) PredictWindowsBatch(trs []*trace.Trace, cts []*trace.Series) (mu
 			maxT = len(xs)
 		}
 	}
-	im := m.inferModel()
+	ims := make([]*nn.InferModel, n)
 	sts := make([]*nn.InferState, n)
-	mus = make([][]float64, n)
-	sigmas = make([][]float64, n)
-	for i := range sts {
-		sts[i] = im.NewState()
+	maxHead := 0
+	for i := range lanes {
+		ims[i] = lanes[i].Model.inferModel()
+		sts[i] = ims[i].NewState()
 		mus[i] = make([]float64, len(xss[i]))
 		sigmas[i] = make([]float64, len(xss[i]))
+		if o := lanes[i].Model.Net.Head.Out; o > maxHead {
+			maxHead = o
+		}
 	}
 	obs.Get().Histogram("iboxml.batch_members").Observe(int64(n))
 
-	// Standardize every known column of every member's window once.
-	// Column feedbackCol is rewritten per step with the member's own
-	// standardized previous prediction (t=0 keeps the teacher value,
-	// exactly as PredictWindows does).
+	// Standardize every known column of every lane's window once, with
+	// the lane's own scaler. Column feedbackCol is rewritten per step
+	// with the lane's own standardized previous prediction (t=0 keeps
+	// the teacher value, exactly as PredictWindows does).
 	rowsStd := make([][][]float64, n)
 	for i := range xss {
 		T := len(xss[i])
@@ -102,19 +186,20 @@ func (m *Model) PredictWindowsBatch(trs []*trace.Trace, cts []*trace.Series) (mu
 		rs := make([][]float64, T)
 		for t := 0; t < T; t++ {
 			rs[t] = slab[t*d : (t+1)*d]
-			m.xScale.applyInto(xss[i][t], rs[t])
+			lanes[i].Model.xScale.applyInto(xss[i][t], rs[t])
 		}
 		rowsStd[i] = rs
 	}
 
 	// Pre-project the known input prefix (columns k < feedbackCol) of
-	// every member's whole window through layer 0 in blocked passes; the
-	// step loop resumes from the partials with tailOff = feedbackCol.
-	// The quantized kernel has no pre-projection support.
+	// every lane's whole window through that lane's layer 0 in blocked
+	// passes; the step loop resumes from the partials with tailOff =
+	// feedbackCol. The quantized kernel has no pre-projection support
+	// (Quantized is part of the Shape, so the group is uniform).
 	var pres [][]float64
 	tailOff := 0
-	rowsPer := im.InputRowsPerStep()
-	if !im.Quantized() {
+	rowsPer := ims[0].InputRowsPerStep()
+	if !shape.Quantized {
 		tailOff = feedbackCol
 		pres = make([][]float64, n)
 		for i := range rowsStd {
@@ -122,35 +207,42 @@ func (m *Model) PredictWindowsBatch(trs []*trace.Trace, cts []*trace.Series) (mu
 				continue
 			}
 			pres[i] = make([]float64, len(rowsStd[i])*rowsPer)
-			im.PreProjectInput(pres[i], rowsStd[i], tailOff)
+			ims[i].PreProjectInput(pres[i], rowsStd[i], tailOff)
 		}
 	}
 
-	// Lockstep unroll. Members whose traces span fewer windows drop out of
-	// the active set as their sequences end; each member's state advances
-	// through exactly its own inputs, so membership never changes results.
+	// Lockstep unroll. Lanes whose traces span fewer windows — or whose
+	// Emit abandoned them — drop out of the active set; each lane's state
+	// advances through exactly its own inputs on its own weights, so
+	// membership never changes results.
 	prevDelay := make([]float64, n)
+	aborted := make([]bool, n)
+	emitted := make([]int, n) // per lane: first window not yet streamed
 	active := make([]int, 0, n)
+	batchIms := make([]*nn.InferModel, 0, n)
 	batchSts := make([]*nn.InferState, 0, n)
 	batchRows := make([][]float64, 0, n)
 	batchPres := make([][]float64, 0, n)
-	head := make([]float64, m.Net.Head.Out)
+	head := make([]float64, maxHead)
 	for t := 0; t < maxT; t++ {
 		active = active[:0]
+		batchIms = batchIms[:0]
 		batchSts = batchSts[:0]
 		batchRows = batchRows[:0]
 		batchPres = batchPres[:0]
 		for i := range xss {
-			if t >= len(xss[i]) {
+			if aborted[i] || t >= len(xss[i]) {
 				continue
 			}
 			r := rowsStd[i][t]
 			if t > 0 {
 				// Closed loop: the standardized d_{t−1} feedback.
 				// Elementwise, so identical to standardizing the raw row.
-				r[feedbackCol] = (prevDelay[i] - m.xScale.Mean[feedbackCol]) / m.xScale.Std[feedbackCol]
+				sc := lanes[i].Model.xScale
+				r[feedbackCol] = (prevDelay[i] - sc.Mean[feedbackCol]) / sc.Std[feedbackCol]
 			}
 			active = append(active, i)
+			batchIms = append(batchIms, ims[i])
 			batchSts = append(batchSts, sts[i])
 			batchRows = append(batchRows, r)
 			if pres != nil {
@@ -161,9 +253,10 @@ func (m *Model) PredictWindowsBatch(trs []*trace.Trace, cts []*trace.Series) (mu
 		if pres != nil {
 			bp = batchPres
 		}
-		im.StepBatchInto(batchSts, batchRows, bp, tailOff)
+		nn.StepBatchLanesInto(batchIms, batchSts, batchRows, bp, tailOff)
 		for k, i := range active {
-			out := m.Net.HeadGaussian(batchSts[k].Top(), head)
+			m := lanes[i].Model
+			out := m.Net.HeadGaussian(batchSts[k].Top(), head[:m.Net.Head.Out])
 			mu := out.Mu*m.yStd + m.yMean
 			sg := out.Sigma * m.yStd
 			if mu < 0 {
@@ -172,9 +265,76 @@ func (m *Model) PredictWindowsBatch(trs []*trace.Trace, cts []*trace.Series) (mu
 			mus[i][t] = mu
 			sigmas[i][t] = sg
 			prevDelay[i] = mu
+			if lanes[i].Emit != nil && (t+1 == len(xss[i]) || (t+1)%chunk == 0) {
+				lo := emitted[i]
+				if lanes[i].Emit(lo, mus[i][lo:t+1], sigmas[i][lo:t+1]) {
+					emitted[i] = t + 1
+				} else {
+					aborted[i] = true
+					mus[i], sigmas[i] = nil, nil
+				}
+			}
 		}
 	}
 	return mus, sigmas
+}
+
+// laneShape validates the batch — every lane model trained, one shared
+// Shape — and returns that shape.
+func laneShape(lanes []ReplayLane) Shape {
+	for i := range lanes {
+		if lanes[i].Model == nil || !lanes[i].Model.trained {
+			panic("iboxml: model not trained")
+		}
+	}
+	shape := lanes[0].Model.Shape()
+	for i := range lanes {
+		if s := lanes[i].Model.Shape(); s != shape {
+			panic(fmt.Sprintf("iboxml: lane %d shape %s incompatible with %s — lanes must share one shape", i, s, shape))
+		}
+	}
+	return shape
+}
+
+// SimulateTraceLanes produces one predicted output trace per lane, with
+// the closed-loop window predictions computed in one lockstep batch and
+// the per-packet sampling done per lane from its own model and Seed.
+// Outputs are bitwise identical to calling
+// lanes[i].Model.SimulateTrace(lanes[i].Input, lanes[i].CT, lanes[i].Seed)
+// one at a time; a lane abandoned by its Emit returns nil.
+func SimulateTraceLanes(lanes []ReplayLane, chunk int) []*trace.Trace {
+	mus, sigmas := PredictWindowsLanes(lanes, chunk)
+	out := make([]*trace.Trace, len(lanes))
+	for i := range lanes {
+		if mus[i] == nil { // abandoned mid-unroll by its Emit
+			continue
+		}
+		out[i] = lanes[i].Model.samplePackets(lanes[i].Input, mus[i], sigmas[i], lanes[i].Seed)
+	}
+	return out
+}
+
+// PredictWindowsBatch runs the closed-loop window prediction of
+// PredictWindows for several traces at once through one model — the
+// single-checkpoint special case of PredictWindowsLanes. cts may be nil
+// (no cross-traffic estimate for any member) or must have one (possibly
+// nil) entry per trace. The returned mu/sigma slices are per-trace and
+// bitwise identical to calling PredictWindows on each (trace, ct) pair.
+func (m *Model) PredictWindowsBatch(trs []*trace.Trace, cts []*trace.Series) (mus, sigmas [][]float64) {
+	if !m.trained {
+		panic("iboxml: model not trained")
+	}
+	if cts != nil && len(cts) != len(trs) {
+		panic("iboxml: PredictWindowsBatch traces/cross-traffic length mismatch")
+	}
+	lanes := make([]ReplayLane, len(trs))
+	for i := range trs {
+		lanes[i] = ReplayLane{Model: m, Input: trs[i]}
+		if cts != nil {
+			lanes[i].CT = cts[i]
+		}
+	}
+	return PredictWindowsLanes(lanes, 0)
 }
 
 // SimulateTraceBatch produces one predicted output trace per input, with
@@ -183,13 +343,21 @@ func (m *Model) PredictWindowsBatch(trs []*trace.Trace, cts []*trace.Series) (mu
 // nil; seeds must have one entry per trace. Outputs are bitwise identical
 // to calling SimulateTrace(trs[i], cts[i], seeds[i]) one at a time.
 func (m *Model) SimulateTraceBatch(trs []*trace.Trace, cts []*trace.Series, seeds []int64) []*trace.Trace {
+	if !m.trained {
+		panic("iboxml: model not trained")
+	}
 	if len(seeds) != len(trs) {
 		panic("iboxml: SimulateTraceBatch traces/seeds length mismatch")
 	}
-	mus, sigmas := m.PredictWindowsBatch(trs, cts)
-	out := make([]*trace.Trace, len(trs))
-	for i, tr := range trs {
-		out[i] = m.samplePackets(tr, mus[i], sigmas[i], seeds[i])
+	if cts != nil && len(cts) != len(trs) {
+		panic("iboxml: PredictWindowsBatch traces/cross-traffic length mismatch")
 	}
-	return out
+	lanes := make([]ReplayLane, len(trs))
+	for i := range trs {
+		lanes[i] = ReplayLane{Model: m, Input: trs[i], Seed: seeds[i]}
+		if cts != nil {
+			lanes[i].CT = cts[i]
+		}
+	}
+	return SimulateTraceLanes(lanes, 0)
 }

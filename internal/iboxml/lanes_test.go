@@ -1,0 +1,179 @@
+package iboxml
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"ibox/internal/sim"
+)
+
+// laneModel trains a small model of the given architecture; distinct
+// seeds give genuinely different weights for one shape.
+func laneModel(t testing.TB, hidden, layers int, seed int64) *Model {
+	t.Helper()
+	m, err := Train(trainSamples(2, 3*sim.Second), Config{
+		Hidden: hidden, Layers: layers, Epochs: 1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("train h%d l%d: %v", hidden, layers, err)
+	}
+	return m
+}
+
+// TestSimulateTraceLanesMixedCheckpoints is the cross-checkpoint
+// equivalence harness: three checkpoints with different weights but one
+// shape replay different traces in a single lane batch, across odd
+// hidden sizes and 1–4 layers, and every lane's output must serialize to
+// exactly the bytes of its own unbatched SimulateTrace. (The int8 kernel
+// is excluded by construction: Quantized is part of the Shape, so a
+// quantized lane can never share a batch with these — see
+// TestLanesShapeMismatchPanics.)
+func TestSimulateTraceLanesMixedCheckpoints(t *testing.T) {
+	shapes := []struct{ hidden, layers int }{
+		{5, 1}, {7, 2}, {9, 3}, {11, 4},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(fmt.Sprintf("h%d_l%d", sh.hidden, sh.layers), func(t *testing.T) {
+			lanes := []ReplayLane{
+				{Model: laneModel(t, sh.hidden, sh.layers, 5), Input: synthTrace(61, 2*sim.Second), Seed: 301},
+				{Model: laneModel(t, sh.hidden, sh.layers, 6), Input: synthTrace(62, 500*sim.Millisecond), Seed: 302},
+				{Model: laneModel(t, sh.hidden, sh.layers, 7), Input: synthTrace(63, 3*sim.Second), Seed: 303},
+			}
+			outs := SimulateTraceLanes(lanes, 0)
+			for i := range lanes {
+				want := lanes[i].Model.SimulateTrace(lanes[i].Input, nil, lanes[i].Seed)
+				var bw, bb bytes.Buffer
+				if err := json.NewEncoder(&bw).Encode(want); err != nil {
+					t.Fatal(err)
+				}
+				if err := json.NewEncoder(&bb).Encode(outs[i]); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(bw.Bytes(), bb.Bytes()) {
+					t.Fatalf("lane %d: cross-checkpoint batched simulation differs from unbatched", i)
+				}
+			}
+		})
+	}
+}
+
+// TestPredictWindowsLanesEmit pins the streaming contract: chunks arrive
+// in order with contiguous t0 ranges, their concatenation is bitwise the
+// full unbatched prediction, and a lane whose Emit returns false is
+// abandoned (nil results) without perturbing any other lane.
+func TestPredictWindowsLanesEmit(t *testing.T) {
+	mA := laneModel(t, 5, 1, 5)
+	mB := laneModel(t, 5, 1, 6)
+	trA := synthTrace(71, 2*sim.Second)
+	trB := synthTrace(72, 2*sim.Second)
+
+	type chunk struct {
+		t0        int
+		mu, sigma []float64
+	}
+	var got []chunk
+	collect := func(t0 int, mu, sigma []float64) bool {
+		// The slices alias lane buffers and are only valid during the
+		// call — the contract says copy to retain.
+		got = append(got, chunk{t0, append([]float64(nil), mu...), append([]float64(nil), sigma...)})
+		return true
+	}
+	abortAfterFirst := 0
+	lanes := []ReplayLane{
+		{Model: mA, Input: trA, Emit: collect},
+		{Model: mB, Input: trB, Emit: func(t0 int, mu, sigma []float64) bool {
+			abortAfterFirst++
+			return abortAfterFirst == 1 // accept one chunk, then hang up
+		}},
+	}
+	const chunkWin = 3
+	mus, sigmas := PredictWindowsLanes(lanes, chunkWin)
+
+	// Lane B was abandoned mid-unroll.
+	if mus[1] != nil || sigmas[1] != nil {
+		t.Fatalf("abandoned lane returned results: %v", mus[1])
+	}
+	if abortAfterFirst != 2 {
+		t.Fatalf("abandoned lane's Emit called %d times, want 2", abortAfterFirst)
+	}
+
+	// Lane A's chunks: ordered, contiguous, chunk-sized except the tail,
+	// and bitwise equal to the unbatched prediction.
+	wantMu, wantSigma := mA.PredictWindows(trA, nil)
+	next := 0
+	var allMu, allSigma []float64
+	for i, c := range got {
+		if c.t0 != next {
+			t.Fatalf("chunk %d starts at %d, want %d (monotonic, contiguous)", i, c.t0, next)
+		}
+		if i < len(got)-1 && len(c.mu) != chunkWin {
+			t.Fatalf("chunk %d has %d windows, want %d", i, len(c.mu), chunkWin)
+		}
+		next += len(c.mu)
+		allMu = append(allMu, c.mu...)
+		allSigma = append(allSigma, c.sigma...)
+	}
+	if len(allMu) != len(wantMu) {
+		t.Fatalf("streamed %d windows, want %d", len(allMu), len(wantMu))
+	}
+	for w := range wantMu {
+		if math.Float64bits(allMu[w]) != math.Float64bits(wantMu[w]) ||
+			math.Float64bits(allSigma[w]) != math.Float64bits(wantSigma[w]) {
+			t.Fatalf("window %d: streamed (%v,%v) != unbatched (%v,%v)",
+				w, allMu[w], allSigma[w], wantMu[w], wantSigma[w])
+		}
+	}
+	// The surviving lane's returned slices must also match.
+	for w := range wantMu {
+		if math.Float64bits(mus[0][w]) != math.Float64bits(wantMu[w]) {
+			t.Fatalf("returned window %d differs from unbatched", w)
+		}
+	}
+}
+
+// TestLanesShapeMismatchPanics: incompatible models — different
+// architecture, different window, or float vs int8 kernel — must never
+// co-batch; the lane entry point panics instead of corrupting state.
+func TestLanesShapeMismatchPanics(t *testing.T) {
+	base := laneModel(t, 5, 1, 5)
+	tr := synthTrace(81, sim.Second)
+	mustPanic := func(name string, other *Model) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: lanes over incompatible shapes did not panic", name)
+			}
+			if !strings.Contains(fmt.Sprint(r), "shape") {
+				t.Fatalf("%s: unexpected panic %v", name, r)
+			}
+		}()
+		PredictWindowsLanes([]ReplayLane{
+			{Model: base, Input: tr},
+			{Model: other, Input: tr},
+		}, 0)
+	}
+	mustPanic("hidden", laneModel(t, 7, 1, 5))
+	mustPanic("layers", laneModel(t, 5, 2, 5))
+
+	quant := laneModel(t, 5, 1, 9)
+	quant.EnableInt8(true)
+	mustPanic("int8", quant)
+}
+
+// TestShapeString pins the metric-label form of the co-batching key.
+func TestShapeString(t *testing.T) {
+	m := laneModel(t, 5, 1, 5)
+	if got, want := m.Shape().String(), "in4_h5_l1_w100ms"; got != want {
+		t.Fatalf("Shape.String() = %q, want %q", got, want)
+	}
+	m.EnableInt8(true)
+	if got := m.Shape().String(); !strings.HasSuffix(got, "_int8") {
+		t.Fatalf("quantized shape label %q lacks _int8 suffix", got)
+	}
+}

@@ -100,6 +100,31 @@ func (im *InferModel) Quantized() bool {
 	return len(im.Layers) > 0 && im.Layers[0].q != nil
 }
 
+// Arch returns the compiled stack's architecture: layer 0's input width,
+// the (uniform) hidden width, and the layer count.
+func (im *InferModel) Arch() (in, hidden, layers int) {
+	if len(im.Layers) == 0 {
+		return 0, 0, 0
+	}
+	return im.Layers[0].In, im.Layers[0].Hidden, len(im.Layers)
+}
+
+// SameArch reports whether two compiled kernels can advance side by side
+// in one lane batch: identical per-layer (In, Hidden) shapes and the same
+// quantization mode. Weight values are free to differ — that is the whole
+// point of cross-checkpoint lane batching (StepBatchLanesInto).
+func (im *InferModel) SameArch(o *InferModel) bool {
+	if len(im.Layers) != len(o.Layers) || im.Quantized() != o.Quantized() {
+		return false
+	}
+	for i, l := range im.Layers {
+		if l.In != o.Layers[i].In || l.Hidden != o.Layers[i].Hidden {
+			return false
+		}
+	}
+	return true
+}
+
 // InferState is the recurrent state for a compiled kernel plus the
 // scratch the zero-alloc step needs. States are cheap to reset and are
 // meant to be reused across sequences; they must not be shared between
@@ -161,18 +186,29 @@ func (s *InferState) swap() { s.h, s.hNxt = s.hNxt, s.h }
 // It performs no allocation, and its result is bitwise-identical to
 // LSTM.Step on the same weights and state trajectory.
 func (im *InferModel) StepInto(st *InferState, x []float64) []float64 {
+	im.stepLane(st, x, nil, 0)
+	return st.top()
+}
+
+// stepLane advances one state one timestep through this stack — the
+// shared inner body of StepInto, StepBatchInto, and StepBatchLanesInto.
+// pre/tailOff optionally carry the timestep's pre-projected layer-0
+// prefix (see PreProjectInput); pass (nil, 0) otherwise.
+func (im *InferModel) stepLane(st *InferState, x, pre []float64, tailOff int) {
 	in := x
 	for li, l := range im.Layers {
 		h, c, hn := st.layer(im, li)
-		if l.q != nil {
+		switch {
+		case l.q != nil:
 			l.q.step(h, c, hn, in)
-		} else {
+		case li == 0:
+			l.step(h, c, hn, in, pre, tailOff, st.pre)
+		default:
 			l.step(h, c, hn, in, nil, 0, st.pre)
 		}
 		in = hn
 	}
 	st.swap()
-	return st.top()
 }
 
 // step advances one layer: hNew and c are written from hPrev, c and
@@ -422,24 +458,56 @@ func (im *InferModel) StepBatchInto(sts []*InferState, xs [][]float64, pres [][]
 		panic("nn: StepBatchInto states/inputs length mismatch")
 	}
 	for b := 0; b < n; b++ {
-		st := sts[b]
 		var pre []float64
 		if pres != nil {
 			pre = pres[b]
 		}
-		in := xs[b]
-		for li, l := range im.Layers {
-			h, c, hn := st.layer(im, li)
-			switch {
-			case l.q != nil:
-				l.q.step(h, c, hn, in)
-			case li == 0:
-				l.step(h, c, hn, in, pre, tailOff, st.pre)
-			default:
-				l.step(h, c, hn, in, nil, 0, st.pre)
-			}
-			in = hn
+		im.stepLane(sts[b], xs[b], pre, tailOff)
+	}
+}
+
+// StepBatchLanesInto is StepBatchInto generalized to per-lane weights:
+// lane b advances sts[b] one timestep through its *own* compiled stack
+// ims[b], fed xs[b]. This is the kernel behind cross-checkpoint shape
+// batching in the serving layer (internal/serve): many distinct trained
+// checkpoints that share one architecture advance pad-free in one
+// dispatch.
+//
+// Per-lane weight pointers come for free from the fused kernel's shape:
+// the packed weight base (&packed[0]) is a per-call argument of both the
+// AVX2 fast path and the scalar fallback, so swapping checkpoints between
+// lanes is just a different base pointer — no layout change, no copying.
+// Each lane runs the exact single-member operation sequence (bias first,
+// input terms ascending k, then recurrent terms ascending k; no FMA), so
+// results are bitwise-identical to StepInto on that lane's own model
+// regardless of batch composition or order. Callers that care about
+// throughput should place lanes of the same checkpoint adjacently: a
+// checkpoint's packed weight stream then stays cache-resident across its
+// lanes.
+//
+// All lanes must share one architecture (SameArch: per-layer In/Hidden
+// and quantization mode); mixing shapes panics rather than corrupting
+// state. pres/tailOff optionally carry per-lane pre-projected layer-0
+// prefixes, as in StepBatchInto.
+func StepBatchLanesInto(ims []*InferModel, sts []*InferState, xs [][]float64, pres [][]float64, tailOff int) {
+	n := len(ims)
+	if n != len(sts) || n != len(xs) {
+		panic("nn: StepBatchLanesInto models/states/inputs length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	ref := ims[0]
+	for b := 1; b < n; b++ {
+		if !ref.SameArch(ims[b]) {
+			panic("nn: StepBatchLanesInto lanes span incompatible architectures")
 		}
-		st.swap()
+	}
+	for b := 0; b < n; b++ {
+		var pre []float64
+		if pres != nil {
+			pre = pres[b]
+		}
+		ims[b].stepLane(sts[b], xs[b], pre, tailOff)
 	}
 }

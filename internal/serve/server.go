@@ -43,6 +43,16 @@ type Config struct {
 	// NoBatch disables micro-batching (each iBoxML replay simulates
 	// alone). Responses are byte-identical either way.
 	NoBatch bool
+	// BatchPerCheckpoint restricts micro-batch groups to requests for the
+	// same artifact, as before cross-checkpoint shape batching. By
+	// default requests co-batch whenever their models share a shape
+	// (architecture + window + kernel mode; see iboxml.Shape) even
+	// across distinct checkpoints. Responses are byte-identical in every
+	// mode; this is the A/B comparison knob (`ibox-bench -suite serve`).
+	BatchPerCheckpoint bool
+	// StreamChunk is the emission granularity of streaming replay
+	// (/v1/replay), in closed-loop windows per chunk; default 64.
+	StreamChunk int
 	// MaxConcurrent bounds simultaneously-executing simulate requests;
 	// default 2×Workers.
 	MaxConcurrent int
@@ -110,6 +120,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchMax <= 0 {
 		c.BatchMax = 16
+	}
+	if c.StreamChunk <= 0 {
+		c.StreamChunk = 64
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 2 * c.Workers
@@ -257,7 +270,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		registry: NewRegistry(cfg.ModelDir, cfg.MaxModels),
 		pool:     pool,
-		batch:    newBatcher(pool, cfg.BatchWindow, cfg.BatchMax),
+		batch:    newBatcher(pool, cfg.BatchWindow, cfg.BatchMax, cfg.StreamChunk, cfg.BatchPerCheckpoint),
 		mux:      http.NewServeMux(),
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		idPrefix: newIDPrefix(),
@@ -294,6 +307,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.sessionsInit()
 	s.startRolling()
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.admit(s.handleSimulate)))
+	s.mux.HandleFunc("POST /v1/replay", s.instrument("replay", s.admit(s.handleReplay)))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
 	s.mux.Handle("GET /metrics", obs.PrometheusHandler())
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
@@ -598,7 +612,7 @@ func (s *Server) simulateML(ctx context.Context, model *Model, req *SimulateRequ
 			return nil
 		})
 	default:
-		out, batchSize, err = s.batch.submit(ctx, model.ML, req.Input, req.Seed)
+		out, batchSize, err = s.batch.submit(ctx, model.ID, model.ML, req.Input, req.Seed)
 	}
 	if err == nil {
 		// The replay input carries the observed delays the model should
